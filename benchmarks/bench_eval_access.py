@@ -1,0 +1,172 @@
+"""EVAL-ACCESS — access control mechanisms (paper §6.1 "Access Control"
+and LedgerView).
+
+Measures RBAC vs ABAC decision throughput (with and without auditing),
+view lifecycle costs (creation, grant, read for revocable vs
+irrevocable), and the audit-trail overhead.
+
+Expected shape: RBAC decisions are cheaper than ABAC rule evaluation;
+audit adds a constant per-decision cost; irrevocable views pay their
+snapshot at creation and serve reads at stable cost.
+"""
+
+import time
+
+import pytest
+
+from repro.access import (
+    ABACPolicy,
+    AccessAuditLog,
+    Attribute,
+    RBACPolicy,
+    ViewManager,
+)
+from repro.analysis import format_table
+from repro.storage.provdb import ProvenanceDatabase
+
+
+def build_rbac(audit=None):
+    policy = RBACPolicy(audit_log=audit)
+    policy.define_role("viewer").allow("docs/*", "read")
+    policy.define_role("editor", parents=["viewer"]).allow("docs/*", "write")
+    policy.define_role("admin", parents=["editor"]).allow("*", "delete")
+    for i in range(1_000):
+        policy.assign(f"user-{i}", ("viewer", "editor", "admin")[i % 3])
+    return policy
+
+
+def build_abac(audit=None):
+    policy = ABACPolicy(audit_log=audit)
+    policy.deny("sealed", Attribute("sealed", on="resource") == True)  # noqa: E712
+    policy.permit("by-role", Attribute("role").is_in(("viewer", "editor",
+                                                      "admin")),
+                  actions=("read",))
+    policy.permit("writers", Attribute("role").is_in(("editor", "admin")),
+                  actions=("write",))
+    policy.permit("admin-all", Attribute("role") == "admin")
+    return policy
+
+
+@pytest.mark.parametrize("mechanism", ["rbac", "abac"])
+def test_decision_throughput(benchmark, mechanism):
+    if mechanism == "rbac":
+        policy = build_rbac()
+        decide = lambda i: policy.is_allowed(  # noqa: E731
+            f"user-{i % 1000}", "docs/x", "read")
+    else:
+        policy = build_abac()
+        decide = lambda i: policy.is_allowed(  # noqa: E731
+            {"role": ("viewer", "editor", "admin")[i % 3]},
+            {"id": "docs/x"}, "read")
+    counter = iter(range(10_000_000))
+    result = benchmark(lambda: decide(next(counter)))
+    assert result is True
+
+
+def test_view_read(benchmark):
+    database = ProvenanceDatabase()
+    for i in range(2_000):
+        database.insert({"record_id": f"r{i}", "subject": f"s{i % 10}",
+                         "actor": "a", "operation": "op", "timestamp": i})
+    manager = ViewManager(database)
+    manager.create_view("v", "owner", lambda r: r["subject"] == "s3")
+    manager.grant("v", "owner", "reader")
+    rows = benchmark(lambda: manager.read("v", "reader"))
+    assert len(rows) == 200
+
+
+def test_shape_rbac_abac_audit_overhead(benchmark, report):
+    def run():
+        rows = []
+        for mechanism in ("rbac", "abac"):
+            for audited in (False, True):
+                audit = AccessAuditLog() if audited else None
+                if mechanism == "rbac":
+                    policy = build_rbac(audit)
+
+                    def decide(i):
+                        return policy.is_allowed(f"user-{i % 1000}",
+                                                 "docs/x", "read")
+                else:
+                    policy = build_abac(audit)
+
+                    def decide(i):
+                        return policy.is_allowed({"role": "editor",
+                                                  "id": f"user-{i}"},
+                                                 {"id": "docs/x"}, "read")
+                n = 3_000
+                t0 = time.perf_counter()
+                for i in range(n):
+                    decide(i)
+                per_decision_us = (time.perf_counter() - t0) / n * 1e6
+                rows.append({"mechanism": mechanism,
+                             "audited": audited,
+                             "us_per_decision": per_decision_us})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("EVAL-ACCESS: decision cost (10k subjects, 3k decisions)",
+           format_table(rows, ["mechanism", "audited", "us_per_decision"]))
+    cost = {(r["mechanism"], r["audited"]): r["us_per_decision"]
+            for r in rows}
+    # Audit adds cost for both mechanisms.
+    assert cost[("rbac", True)] > cost[("rbac", False)]
+    assert cost[("abac", True)] > cost[("abac", False)]
+
+
+def test_shape_view_lifecycle(benchmark, report):
+    """Revocable views serve live data; irrevocable views pay a snapshot
+    at creation and keep serving after the source grows."""
+    def run():
+        database = ProvenanceDatabase()
+        for i in range(5_000):
+            database.insert({"record_id": f"r{i}",
+                             "subject": f"s{i % 10}", "actor": "a",
+                             "operation": "op", "timestamp": i})
+        manager = ViewManager(database)
+        rows = []
+        for revocable in (True, False):
+            name = "revocable" if revocable else "irrevocable"
+            t0 = time.perf_counter()
+            manager.create_view(name, "owner",
+                                lambda r: r["subject"] == "s1",
+                                revocable=revocable)
+            create_ms = (time.perf_counter() - t0) * 1e3
+            manager.grant(name, "owner", "reader")
+            t0 = time.perf_counter()
+            for _ in range(20):
+                served = manager.read(name, "reader")
+            read_ms = (time.perf_counter() - t0) / 20 * 1e3
+            rows.append({"view": name, "create_ms": create_ms,
+                         "read_ms": read_ms, "rows_served": len(served)})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("EVAL-ACCESS: view lifecycle (5k-record ledger)",
+           format_table(rows, ["view", "create_ms", "read_ms",
+                               "rows_served"]))
+    by_view = {r["view"]: r for r in rows}
+    # The snapshot makes irrevocable creation more expensive than
+    # revocable creation (which defers the scan to read time).
+    assert by_view["irrevocable"]["create_ms"] > \
+        by_view["revocable"]["create_ms"]
+
+
+def test_shape_audit_trail_integrity_cost(benchmark, report):
+    def run():
+        audit = AccessAuditLog()
+        for i in range(5_000):
+            audit.record(f"u{i % 50}", f"r{i % 200}", "read", i % 7 != 0,
+                         mechanism="bench")
+        t0 = time.perf_counter()
+        intact = audit.verify()
+        verify_ms = (time.perf_counter() - t0) * 1e3
+        return {"decisions": len(audit), "verify_ms": verify_ms,
+                "intact": intact,
+                "denial_rate": round(audit.denial_rate(), 3)}
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("EVAL-ACCESS: audit trail replay verification (5k decisions)",
+           format_table([row], ["decisions", "verify_ms", "intact",
+                                "denial_rate"]))
+    assert row["intact"]

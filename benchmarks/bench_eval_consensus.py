@@ -1,0 +1,165 @@
+"""EVAL-CONS — consensus ablation (paper §6.1: "consensus algorithms,
+…, network size").
+
+Measures:
+
+* sealing work per block for PoW (by difficulty) vs PoS vs PoA;
+* empirical messages-per-block for PBFT (O(n²)) vs Raft (O(n)) as the
+  cluster grows, with crash-fault rounds included;
+* the PoW→PoS gap BlockCloud's design argument rests on.
+
+Expected shape: PoW work doubles per difficulty bit; PBFT message counts
+grow quadratically and overtake Raft's linear profile immediately;
+permissioned engines (PoA/PoS) seal in constant work.
+"""
+
+import pytest
+
+from repro.analysis import Sweep, format_table
+from repro.chain import Blockchain, ChainParams, Transaction, TxKind
+from repro.consensus import (
+    PBFTCluster,
+    ProofOfAuthority,
+    ProofOfStake,
+    ProofOfWork,
+    RaftCluster,
+    Validator,
+)
+from repro.network import SimNet
+
+
+def tx(i=0):
+    return Transaction(sender="bench", kind=TxKind.DATA,
+                       payload={"key": f"k{i}", "value": i})
+
+
+@pytest.mark.parametrize("engine_name", ["pow8", "pow10", "pos", "poa"])
+def test_seal_cost(benchmark, engine_name):
+    if engine_name == "pow8":
+        engine = ProofOfWork(difficulty_bits=8)
+    elif engine_name == "pow10":
+        engine = ProofOfWork(difficulty_bits=10)
+    elif engine_name == "pos":
+        engine = ProofOfStake([Validator(f"v{i}", 10 + i)
+                               for i in range(8)])
+    else:
+        engine = ProofOfAuthority([f"a{i}" for i in range(8)])
+
+    def seal_one():
+        chain = Blockchain(ChainParams(chain_id=f"seal-{engine_name}"))
+        block, metrics = engine.seal(chain, [tx(1)])
+        return metrics.work
+
+    work = benchmark(seal_one)
+    if engine_name.startswith("pow"):
+        assert work >= 1
+    else:
+        assert work == 1
+
+
+@pytest.mark.parametrize("n_nodes", [4, 7, 10])
+def test_pbft_block_commit(benchmark, n_nodes):
+    counter = iter(range(100_000))
+
+    def commit_one():
+        cluster = PBFTCluster(SimNet(seed=next(counter)),
+                              n_replicas=n_nodes)
+        return cluster.propose([tx(1)])
+
+    metrics = benchmark(commit_one)
+    assert metrics.messages == PBFTCluster.analytic_messages(n_nodes)
+
+
+@pytest.mark.parametrize("n_nodes", [3, 7, 10])
+def test_raft_block_commit(benchmark, n_nodes):
+    counter = iter(range(100_000))
+
+    def commit_one():
+        cluster = RaftCluster(SimNet(seed=next(counter)), n_nodes=n_nodes)
+        return cluster.propose([tx(1)])
+
+    metrics = benchmark(commit_one)
+    assert metrics.committed
+
+
+def test_shape_message_complexity_sweep(once, report):
+    """The O(n²)-vs-O(n) crossover table the paper's trade-off implies."""
+    def measure(n):
+        pbft = PBFTCluster(SimNet(seed=n), n_replicas=n)
+        pbft_metrics = pbft.propose([tx(1)])
+        raft = RaftCluster(SimNet(seed=n), n_nodes=n)
+        raft_metrics = raft.propose([tx(1)])
+        return {
+            "pbft_msgs": pbft_metrics.messages,
+            "raft_msgs": raft_metrics.messages,
+            "pbft_latency": pbft_metrics.latency_ticks,
+            "raft_latency": raft_metrics.latency_ticks,
+        }
+
+    result = once(lambda: Sweep("n_nodes", [4, 7, 10, 13, 16],
+                                measure).run())
+    report("EVAL-CONS: PBFT vs Raft per committed block",
+           result.to_table(["n_nodes", "pbft_msgs", "raft_msgs",
+                            "pbft_latency", "raft_latency"]))
+    pbft_msgs = result.column("pbft_msgs")
+    raft_msgs = result.column("raft_msgs")
+    # Raft stays linear; PBFT grows quadratically; PBFT always costs more.
+    assert all(p > r for p, r in zip(pbft_msgs, raft_msgs))
+    ratio_small = pbft_msgs[0] / raft_msgs[0]
+    ratio_large = pbft_msgs[-1] / raft_msgs[-1]
+    assert ratio_large > 2 * ratio_small
+
+
+def test_shape_pow_work_doubles_per_bit(once, report):
+    """BlockCloud's argument: PoW work is exponential in difficulty while
+    PoS stays constant."""
+    def measure(bits):
+        engine = ProofOfWork(difficulty_bits=bits)
+        chain = Blockchain(ChainParams(chain_id=f"powsweep-{bits}"))
+        total = 0
+        rounds = 8
+        for i in range(rounds):
+            block, metrics = engine.seal(chain, [tx(i)])
+            chain.append_block(block)
+            total += metrics.work
+        return {"avg_hashes": total // rounds,
+                "expected": engine.estimated_hashes()}
+
+    result = once(lambda: Sweep("difficulty_bits", [4, 6, 8, 10],
+                                measure).run())
+    rows = result.rows + [{"difficulty_bits": "pos (any)",
+                           "avg_hashes": 1, "expected": 1}]
+    report("EVAL-CONS: PoW sealing work vs difficulty (vs PoS = 1)",
+           format_table(rows, ["difficulty_bits", "avg_hashes", "expected"]))
+    observed = result.column("avg_hashes")
+    assert observed[-1] > 10 * observed[0]
+
+
+def test_shape_crash_fault_costs(once, report):
+    """Fault rounds: PBFT view change and Raft re-election overheads."""
+    def run():
+        rows = []
+        pbft = PBFTCluster(SimNet(seed=1), n_replicas=4)
+        healthy = pbft.propose([tx(1)])
+        pbft.crash("pbft-0")       # the current primary
+        faulty = pbft.propose([tx(2)])
+        rows.append({"engine": "pbft", "healthy_msgs": healthy.messages,
+                     "faulty_msgs": faulty.messages,
+                     "recovery":
+                     f"{faulty.extra['view_changes']} view change"})
+        raft = RaftCluster(SimNet(seed=2), n_nodes=5)
+        raft.propose([tx(0)])                  # warm-up: initial election
+        healthy = raft.propose([tx(1)])        # steady state
+        raft.crash(raft.leader_id)
+        faulty = raft.propose([tx(2)])         # includes re-election
+        rows.append({"engine": "raft", "healthy_msgs": healthy.messages,
+                     "faulty_msgs": faulty.messages,
+                     "recovery": f"term {faulty.extra['term']} re-election"})
+        return rows
+
+    rows = once(run)
+    report("EVAL-CONS: leader/primary crash overhead",
+           format_table(rows, ["engine", "healthy_msgs", "faulty_msgs",
+                               "recovery"]))
+    for row in rows:
+        assert row["faulty_msgs"] > row["healthy_msgs"]

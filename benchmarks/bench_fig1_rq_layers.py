@@ -1,0 +1,126 @@
+"""FIG1 — the interrelation of RQ1 → RQ2 → RQ3 (paper Figure 1).
+
+The figure's claim is architectural: multi-chain provenance (RQ3) builds
+on intra-chain collaboration (RQ2), which builds on single-entity
+provenance (RQ1).  This bench measures the *cost of widening the
+environment* for the same logical work — recording and then verifying a
+batch of provenance records:
+
+* RQ1: one owner, one chain (ProvChain-style, PoA-sealed for
+  comparability);
+* RQ2: eight collaborators on one consortium chain (SciLedger);
+* RQ3: three organizations on separate chains joined by a unanimous
+  bridge (ForensiCross).
+
+Expected shape: cost strictly increases across the layers — collaboration
+adds multi-party records and invalidation machinery; multi-chain adds
+bridge endorsements and per-org chains.
+"""
+
+import time
+
+from repro.analysis import format_table
+from repro.clock import SimClock
+from repro.consensus import ProofOfAuthority
+from repro.systems import CloudProvenanceSystem, ForensiCross, SciLedger
+from repro.workloads import WorkflowShape
+
+N_RECORDS = 40
+
+
+def run_rq1():
+    """Single entity: N cloud operations captured, anchored, audited."""
+    system = CloudProvenanceSystem(
+        engine=ProofOfAuthority(["owner"]), chain_id="rq1",
+        batch_size=8, pseudonymize=False,
+    )
+    system.create("owner", "file-0", b"seed")
+    for i in range(N_RECORDS - 1):
+        system.update("owner", "file-0", b"v%d" % i)
+    answer = system.audit_object("file-0")
+    assert answer.verified
+    return {"records": system.records_captured,
+            "chains": 1,
+            "blocks": system.chain.height}
+
+
+def run_rq2():
+    """Collaboration: 8 users execute a shared workflow on one chain."""
+    ledger = SciLedger([f"inst-{i}" for i in range(4)], batch_size=8)
+    ledger.create_workflow("w", "pi")
+    specs = WorkflowShape(n_tasks=N_RECORDS // 2, fanout=2,
+                          users=8, seed=9).tasks()
+    for spec in specs:
+        ledger.design_task("w", spec["task_id"], spec["user_id"],
+                           spec["inputs"], spec["outputs"])
+    ledger.run_workflow("w")
+    cascade = ledger.invalidate(specs[0]["task_id"])
+    ledger.re_execute(cascade)
+    answer = ledger.provenance_of(specs[-1]["outputs"][0])
+    assert answer.verified
+    return {"records": len(ledger.database),
+            "chains": 1,
+            "blocks": ledger.chain.height}
+
+
+def run_rq3():
+    """Multi-chain: a joint case across 3 org chains over the bridge."""
+    orgs = ["us", "eu", "apac"]
+    joint = ForensiCross(orgs)
+    actors = {org: f"lead-{org}" for org in orgs}
+    joint.open_joint_case("JC", actors)
+    joint.sync_stage("JC", actors)                 # preservation
+    per_org = N_RECORDS // (3 * 2)
+    for org in orgs:
+        for i in range(per_org):
+            joint.orgs[org].collect_evidence(
+                "JC", f"{org}-ev-{i}", actors[org],
+                b"payload-%d" % i, "image",
+            )
+    joint.share_evidence("JC", "us", "eu", "us-ev-0", actors["us"])
+    joint.sync_stage("JC", actors)                 # collection
+    bundle = joint.extract_cross_chain("JC", actors)
+    assert bundle["all_verified"]
+    records = sum(len(b["records"])
+                  for b in bundle["organizations"].values())
+    blocks = sum(system.chain.height for system in joint.orgs.values())
+    return {"records": records,
+            "chains": len(orgs) + 1,               # + the bridge chain
+            "blocks": blocks + joint.bridge.chain.height}
+
+
+LAYERS = [("RQ1 single entity", run_rq1),
+          ("RQ2 intra-chain collaboration", run_rq2),
+          ("RQ3 multi-chain collaboration", run_rq3)]
+
+
+def test_fig1_layered_costs(benchmark, report):
+    def sweep():
+        rows = []
+        for name, runner in LAYERS:
+            t0 = time.perf_counter()
+            stats = runner()
+            elapsed_ms = (time.perf_counter() - t0) * 1e3
+            rows.append({"layer": name, "ms": round(elapsed_ms, 1), **stats})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report("FIG1: the same provenance job as the environment widens",
+           format_table(rows, ["layer", "records", "chains", "blocks",
+                               "ms"]))
+    # The architectural shape: each layer engages strictly more machinery.
+    assert rows[0]["chains"] < rows[2]["chains"]
+    assert rows[0]["ms"] <= rows[2]["ms"] * 10      # sanity ordering guard
+    assert rows[1]["records"] >= rows[0]["records"] // 2
+
+
+def test_rq1_layer(benchmark):
+    benchmark.pedantic(run_rq1, rounds=2, iterations=1)
+
+
+def test_rq2_layer(benchmark):
+    benchmark.pedantic(run_rq2, rounds=2, iterations=1)
+
+
+def test_rq3_layer(benchmark):
+    benchmark.pedantic(run_rq3, rounds=2, iterations=1)

@@ -1,0 +1,105 @@
+"""FIG4 — scientific workflow lifecycle (paper Figure 4).
+
+Measures the lifecycle loop (design → execute → record → invalidate →
+re-execute) and the cost of invalidation cascades as the dependency DAG
+deepens and widens.
+
+Expected shape: cascade size (and cost) grows with the reachable
+downstream subgraph; re-execution restores exactly the invalidated set.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis import Sweep, format_table
+from repro.clock import SimClock
+from repro.domains import TaskStatus, WorkflowManager
+from repro.provenance.capture import CaptureSink
+from repro.storage.provdb import ProvenanceDatabase
+from repro.workloads import WorkflowShape
+
+
+def build_manager(n_tasks, fanout, seed=0):
+    manager = WorkflowManager(CaptureSink(ProvenanceDatabase()), SimClock())
+    manager.create_workflow("w", "owner")
+    for spec in WorkflowShape(n_tasks=n_tasks, fanout=fanout,
+                              seed=seed).tasks():
+        manager.design_task("w", spec["task_id"], spec["user_id"],
+                            spec["inputs"], spec["outputs"])
+    return manager
+
+
+@pytest.mark.parametrize("n_tasks", [10, 50, 200])
+def test_workflow_execution(benchmark, n_tasks):
+    def run():
+        manager = build_manager(n_tasks, fanout=2)
+        for task_id in manager.execution_schedule("w"):
+            manager.execute_task(task_id)
+        return manager
+
+    manager = benchmark(run)
+    assert len(manager.valid_results("w")) == n_tasks
+
+
+def test_invalidation_cascade(benchmark):
+    manager = build_manager(100, fanout=3, seed=5)
+    for task_id in manager.execution_schedule("w"):
+        manager.execute_task(task_id)
+
+    def cascade_and_restore():
+        invalidated = manager.invalidate_task("task-0000")
+        for task_id in manager.execution_schedule("w"):
+            if manager.tasks[task_id].status == TaskStatus.INVALIDATED:
+                manager.re_execute(task_id)
+        return invalidated
+
+    invalidated = benchmark(cascade_and_restore)
+    assert "task-0000" in invalidated
+    assert manager.invalidation_cascades >= 1
+
+
+def test_shape_cascade_grows_with_fanout(once, report):
+    """Invalidating the root hits more of the workflow as fanout rises."""
+    def measure(fanout):
+        manager = build_manager(60, fanout=fanout, seed=3)
+        for task_id in manager.execution_schedule("w"):
+            manager.execute_task(task_id)
+        t0 = time.perf_counter()
+        cascade = manager.invalidate_task("task-0000")
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        return {"cascade_size": len(cascade),
+                "cascade_ms": elapsed_ms}
+
+    result = once(lambda: Sweep("fanout", [1, 2, 4, 6], measure).run())
+    report("FIG4: invalidation cascade vs DAG fanout (60 tasks)",
+           result.to_table(["fanout", "cascade_size", "cascade_ms"]))
+    sizes = result.column("cascade_size")
+    assert sizes[-1] > sizes[0], "wider DAGs must cascade further"
+
+
+def test_shape_lifecycle_record_counts(once, report):
+    """Each lifecycle phase leaves its records: the Figure-4 loop is
+    fully accounted for in the provenance store."""
+    def run():
+        database = ProvenanceDatabase()
+        manager = WorkflowManager(CaptureSink(database), SimClock())
+        manager.create_workflow("w", "owner")
+        manager.design_task("w", "t1", "u", ["in"], ["mid"])
+        manager.design_task("w", "t2", "u", ["mid"], ["out"])
+        manager.execute_task("t1")
+        manager.execute_task("t2")
+        cascade = manager.invalidate_task("t1")
+        for task_id in ("t1", "t2"):
+            manager.re_execute(task_id)
+        counts = {
+            "execute": len(database.by_operation("execute")),
+            "invalidate": len(database.by_operation("invalidate")),
+        }
+        return counts, cascade
+
+    counts, cascade = once(run)
+    report("FIG4: lifecycle records for execute/invalidate/re-execute",
+           format_table([counts], ["execute", "invalidate"]))
+    assert counts == {"execute": 4, "invalidate": 2}
+    assert cascade == ["t1", "t2"]

@@ -1,0 +1,31 @@
+"""Shared benchmark helpers.
+
+Every bench prints the table/series it regenerates (visible with
+``pytest benchmarks/ --benchmark-only -s`` and in the captured output of
+EXPERIMENTS.md runs) and *asserts the paper's qualitative shape* — who
+wins, what grows, where things cross — rather than absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_report(title: str, body: str) -> None:
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")
+
+
+@pytest.fixture(scope="session")
+def report():
+    return print_report
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a shape/report measurement exactly once under pytest-benchmark
+    (so it is collected by ``--benchmark-only`` without being re-run)."""
+    def _once(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _once

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Federated learning with blockchain provenance and poisoning defense.
+
+The §4.4 story: participants train collaboratively; some are poisoners.
+A BlockDFL-style committee scores every update against a robust median,
+reputation accumulates, and the model converges despite a 40% attack —
+while the same attack destroys an undefended run.  Every update and
+aggregation lands in the provenance store, so "documenting all steps of
+training" (Table 2) is a query, not a promise.
+
+Run:  python examples/federated_learning_provenance.py
+"""
+
+from repro.analysis.figures import ascii_series
+from repro.domains import FLConfig, FederatedLearning
+from repro.provenance.capture import CaptureSink
+from repro.storage.provdb import ProvenanceDatabase
+
+
+def run(attacker_fraction: float, defense: str,
+        sink: CaptureSink | None = None) -> list[float]:
+    config = FLConfig(
+        n_participants=10,
+        attacker_fraction=attacker_fraction,
+        defense=defense,
+        seed=42,
+    )
+    return FederatedLearning(config, sink).run(rounds=25)
+
+
+def main() -> None:
+    print("federated learning: model error vs training rounds\n")
+    for fraction in (0.0, 0.3, 0.4):
+        defended = run(fraction, "reputation")
+        undefended = run(fraction, "none")
+        print(f"attackers {int(fraction * 100):>2}%  "
+              f"defended   {ascii_series(defended, width=25)}  "
+              f"final={defended[-1]:8.4f}")
+        print(f"              undefended {ascii_series(undefended, width=25)}  "
+              f"final={undefended[-1]:8.4f}")
+    print("\n(defense holds below the 50% boundary; undefended runs "
+          "diverge as soon as poisoners appear)")
+
+    # Provenance: every training step is recorded and queryable.
+    database = ProvenanceDatabase()
+    sink = CaptureSink(database)
+    fl = FederatedLearning(
+        FLConfig(n_participants=6, attacker_fraction=0.3, seed=7), sink
+    )
+    fl.run(rounds=5)
+    updates = database.by_operation("submit_update")
+    aggregates = database.by_operation("aggregate")
+    print(f"\nprovenance store: {len(updates)} accepted updates, "
+          f"{len(aggregates)} aggregations over {fl.round_number} rounds")
+    last_model = aggregates[-1]
+    print(f"model {last_model['asset_id']} aggregates "
+          f"{len(last_model['parent_assets'])} updates "
+          f"(round {last_model['training_round']})")
+
+    # Reputation separates honest from malicious.
+    honest = [p.reputation for p in fl.participants if p.honest]
+    attackers = [p.reputation for p in fl.participants if not p.honest]
+    print(f"reputation after 5 rounds: honest min={min(honest):.2f}, "
+          f"attacker max={max(attackers):.2f}")
+
+
+if __name__ == "__main__":
+    main()

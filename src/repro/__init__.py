@@ -1,0 +1,143 @@
+"""repro — blockchain-based data provenance.
+
+A canonical library reproducing the design space of *SOK: Blockchain for
+Provenance* (Akbarfam & Maleki, VLDB 2024): a blockchain substrate with
+pluggable consensus, a PROV-style provenance core with four capture
+pathways and Merkle-anchored verified queries, five application domains,
+the surveyed reference systems, and the full §2.3 cross-chain mechanism
+zoo.
+
+Quickstart::
+
+    from repro import ProvChain
+
+    system = ProvChain(difficulty_bits=8)
+    system.create("alice", "report.pdf", b"draft 1")
+    system.update("alice", "report.pdf", b"draft 2")
+    answer = system.audit_object("report.pdf")
+    assert answer.verified          # every record proven against the chain
+
+See README.md for the architecture tour and DESIGN.md for the
+paper-to-module map.
+"""
+
+__version__ = "1.0.0"
+
+from .clock import SimClock, SteppingClock
+from .ids import IdFactory
+from .errors import ReproError
+
+from .chain import (
+    Block,
+    Blockchain,
+    ChainParams,
+    Mempool,
+    StateStore,
+    Transaction,
+    TxKind,
+)
+from .consensus import (
+    PBFTCluster,
+    ProofOfAuthority,
+    ProofOfStake,
+    ProofOfWork,
+    RaftCluster,
+    Validator,
+)
+from .crypto import CaseForest, KeyPair, MerkleTree, verify_proof
+from .network import ChainNode, GossipProtocol, LatencyModel, SimNet
+from .provenance import (
+    AnchorService,
+    CaptureSink,
+    DirectCapture,
+    MultiSourceCapture,
+    ProvenanceGraph,
+    ProvenanceQueryEngine,
+    QueryCache,
+    RelationKind,
+    StoreMediatedCapture,
+    ThirdPartyCapture,
+    make_record,
+)
+from .storage import CloudObjectStore, ContentAddressedStore, ProvenanceDatabase
+from .systems import (
+    BlockCloud,
+    ForensiBlock,
+    ForensiCross,
+    IPFSProvenance,
+    LedgerViewSystem,
+    PrivChain,
+    ProvChain,
+    SciLedger,
+    SynergyChain,
+    Vassago,
+)
+from .crosschain import (
+    AtomicSwap,
+    BridgeChain,
+    HTLCManager,
+    NotaryScheme,
+    PeggedSidechain,
+    RelayChain,
+    SwapParty,
+)
+
+__all__ = [
+    "__version__",
+    "SimClock",
+    "SteppingClock",
+    "IdFactory",
+    "ReproError",
+    "Block",
+    "Blockchain",
+    "ChainParams",
+    "Mempool",
+    "StateStore",
+    "Transaction",
+    "TxKind",
+    "PBFTCluster",
+    "ProofOfAuthority",
+    "ProofOfStake",
+    "ProofOfWork",
+    "RaftCluster",
+    "Validator",
+    "CaseForest",
+    "KeyPair",
+    "MerkleTree",
+    "verify_proof",
+    "ChainNode",
+    "GossipProtocol",
+    "LatencyModel",
+    "SimNet",
+    "AnchorService",
+    "CaptureSink",
+    "DirectCapture",
+    "MultiSourceCapture",
+    "ProvenanceGraph",
+    "ProvenanceQueryEngine",
+    "QueryCache",
+    "RelationKind",
+    "StoreMediatedCapture",
+    "ThirdPartyCapture",
+    "make_record",
+    "CloudObjectStore",
+    "ContentAddressedStore",
+    "ProvenanceDatabase",
+    "BlockCloud",
+    "ForensiBlock",
+    "ForensiCross",
+    "IPFSProvenance",
+    "LedgerViewSystem",
+    "PrivChain",
+    "ProvChain",
+    "SciLedger",
+    "SynergyChain",
+    "Vassago",
+    "AtomicSwap",
+    "BridgeChain",
+    "HTLCManager",
+    "NotaryScheme",
+    "PeggedSidechain",
+    "RelayChain",
+    "SwapParty",
+]

@@ -1,0 +1,25 @@
+"""Access control.
+
+The paper's §6.1 names access control a first-class design consideration
+("ABAC or RBAC, or even more sophisticated models") and LedgerView [66]
+contributes revocable/irrevocable *views* over a permissioned ledger.
+This package provides all three, plus the decision audit trail that turns
+access control itself into provenance.
+"""
+
+from .rbac import Role, RBACPolicy
+from .abac import Attribute, AttributeRule, ABACPolicy
+from .views import LedgerView, ViewManager
+from .audit import AccessAuditLog, AccessDecision
+
+__all__ = [
+    "Role",
+    "RBACPolicy",
+    "Attribute",
+    "AttributeRule",
+    "ABACPolicy",
+    "LedgerView",
+    "ViewManager",
+    "AccessAuditLog",
+    "AccessDecision",
+]

@@ -1,0 +1,169 @@
+"""Attribute-based access control.
+
+Decisions are predicates over four attribute bags: subject, resource,
+action, and environment.  Rules are condition lists with an effect
+(permit/deny); the policy combines them deny-overrides, the conservative
+combinator appropriate for healthcare/forensics where a single deny rule
+(e.g. "case is sealed") must beat any number of permits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from ..errors import AccessDenied, PolicyError
+
+AttrBag = Mapping[str, Any]
+Condition = Callable[[AttrBag, AttrBag, str, AttrBag], bool]
+
+
+@dataclass(frozen=True, eq=False)
+class Attribute:
+    """A helper for readable rule conditions: ``Attribute("role") == "dr"``.
+
+    Builds conditions over the *subject* bag by default; use ``on`` to
+    target ``"resource"`` or ``"environment"``.  Note the comparison
+    operators intentionally return *conditions*, SQLAlchemy-style, so
+    ``Attribute`` objects are not usable as dict keys.
+    """
+
+    name: str
+    on: str = "subject"
+
+    def _bag(self, subject: AttrBag, resource: AttrBag,
+             environment: AttrBag) -> AttrBag:
+        if self.on == "subject":
+            return subject
+        if self.on == "resource":
+            return resource
+        if self.on == "environment":
+            return environment
+        raise PolicyError(f"unknown attribute target {self.on!r}")
+
+    def __eq__(self, expected: Any) -> Condition:  # type: ignore[override]
+        def cond(subject, resource, action, environment):
+            return self._bag(subject, resource, environment).get(self.name) == expected
+        return cond
+
+    def __ne__(self, expected: Any) -> Condition:  # type: ignore[override]
+        def cond(subject, resource, action, environment):
+            return self._bag(subject, resource, environment).get(self.name) != expected
+        return cond
+
+    def is_in(self, options: tuple | list | set) -> Condition:
+        allowed = set(options)
+        def cond(subject, resource, action, environment):
+            return self._bag(subject, resource, environment).get(self.name) in allowed
+        return cond
+
+    def at_least(self, minimum: Any) -> Condition:
+        def cond(subject, resource, action, environment):
+            value = self._bag(subject, resource, environment).get(self.name)
+            return value is not None and value >= minimum
+        return cond
+
+    def present(self) -> Condition:
+        def cond(subject, resource, action, environment):
+            return self.name in self._bag(subject, resource, environment)
+        return cond
+
+
+@dataclass
+class AttributeRule:
+    """conditions (ANDed) + action filter -> effect."""
+
+    name: str
+    effect: str                    # "permit" | "deny"
+    actions: set[str] = field(default_factory=set)   # empty = any action
+    conditions: list[Condition] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.effect not in ("permit", "deny"):
+            raise PolicyError(f"effect must be permit/deny, got {self.effect!r}")
+
+    def applies(self, subject: AttrBag, resource: AttrBag, action: str,
+                environment: AttrBag) -> bool:
+        if self.actions and action not in self.actions:
+            return False
+        return all(cond(subject, resource, action, environment)
+                   for cond in self.conditions)
+
+
+class ABACPolicy:
+    """Deny-overrides attribute policy with a default-deny posture."""
+
+    def __init__(self, audit_log=None) -> None:
+        self._rules: list[AttributeRule] = []
+        self.audit_log = audit_log
+
+    def add_rule(self, rule: AttributeRule) -> "ABACPolicy":
+        self._rules.append(rule)
+        return self
+
+    def permit(self, name: str, *conditions: Condition,
+               actions: tuple = ()) -> "ABACPolicy":
+        return self.add_rule(AttributeRule(
+            name=name, effect="permit", actions=set(actions),
+            conditions=list(conditions),
+        ))
+
+    def deny(self, name: str, *conditions: Condition,
+             actions: tuple = ()) -> "ABACPolicy":
+        return self.add_rule(AttributeRule(
+            name=name, effect="deny", actions=set(actions),
+            conditions=list(conditions),
+        ))
+
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        subject: AttrBag,
+        resource: AttrBag,
+        action: str,
+        environment: AttrBag | None = None,
+    ) -> tuple[bool, str]:
+        """Returns ``(allowed, deciding_rule_name)``.
+
+        Deny-overrides: any applicable deny rule wins; otherwise any
+        applicable permit rule wins; otherwise default deny.
+        """
+        environment = environment or {}
+        permit_rule: str | None = None
+        for rule in self._rules:
+            if not rule.applies(subject, resource, action, environment):
+                continue
+            if rule.effect == "deny":
+                self._audit(subject, resource, action, False, rule.name)
+                return False, rule.name
+            if permit_rule is None:
+                permit_rule = rule.name
+        if permit_rule is not None:
+            self._audit(subject, resource, action, True, permit_rule)
+            return True, permit_rule
+        self._audit(subject, resource, action, False, "default-deny")
+        return False, "default-deny"
+
+    def is_allowed(self, subject: AttrBag, resource: AttrBag, action: str,
+                   environment: AttrBag | None = None) -> bool:
+        allowed, _ = self.decide(subject, resource, action, environment)
+        return allowed
+
+    def require(self, subject: AttrBag, resource: AttrBag, action: str,
+                environment: AttrBag | None = None) -> None:
+        allowed, rule = self.decide(subject, resource, action, environment)
+        if not allowed:
+            raise AccessDenied(
+                f"ABAC: action {action!r} denied by rule {rule!r}"
+            )
+
+    def _audit(self, subject: AttrBag, resource: AttrBag, action: str,
+               allowed: bool, rule: str) -> None:
+        if self.audit_log is not None:
+            self.audit_log.record(
+                str(subject.get("id", "?")),
+                str(resource.get("id", "?")),
+                action,
+                allowed,
+                mechanism=f"abac:{rule}",
+            )

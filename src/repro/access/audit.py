@@ -1,0 +1,105 @@
+"""Access-decision audit trail.
+
+Every allow/deny decision is itself provenance — "who tried to see what,
+and was it allowed" is exactly the account a HIPAA or chain-of-custody
+audit demands (§4.3, §4.5).  The log is hash-chained so it is
+tamper-evident even before anchoring, and can be exported as provenance
+records for the normal capture/anchor pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..clock import SimClock
+from ..crypto.hashing import HashChain
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """One recorded allow/deny decision."""
+
+    seq: int
+    subject: str
+    resource: str
+    action: str
+    allowed: bool
+    mechanism: str
+    timestamp: int
+
+    def to_canonical(self) -> dict:
+        return {
+            "seq": self.seq,
+            "subject": self.subject,
+            "resource": self.resource,
+            "action": self.action,
+            "allowed": self.allowed,
+            "mechanism": self.mechanism,
+            "timestamp": self.timestamp,
+        }
+
+    def to_provenance_record(self, prefix: str = "acc") -> dict:
+        """Shape the decision as a capture-pipeline record."""
+        return {
+            "record_id": f"{prefix}-{self.seq:08d}",
+            "domain": "access_audit",
+            "subject": self.resource,
+            "actor": self.subject,
+            "operation": f"{self.action}:{'allow' if self.allowed else 'deny'}",
+            "timestamp": self.timestamp,
+            "mechanism": self.mechanism,
+        }
+
+
+class AccessAuditLog:
+    """Hash-chained, append-only access decision log."""
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock or SimClock()
+        self._decisions: list[AccessDecision] = []
+        self._chain = HashChain()
+
+    def record(self, subject: str, resource: str, action: str,
+               allowed: bool, mechanism: str = "") -> AccessDecision:
+        decision = AccessDecision(
+            seq=len(self._decisions),
+            subject=subject,
+            resource=resource,
+            action=action,
+            allowed=allowed,
+            mechanism=mechanism,
+            timestamp=self.clock.now(),
+        )
+        self._decisions.append(decision)
+        self._chain.append(decision.to_canonical())
+        return decision
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    def __iter__(self) -> Iterator[AccessDecision]:
+        return iter(self._decisions)
+
+    @property
+    def head(self) -> bytes:
+        """Tamper-evident digest over the whole log."""
+        return self._chain.head
+
+    def verify(self) -> bool:
+        """Replay the log and compare digests."""
+        return HashChain.replay(
+            [d.to_canonical() for d in self._decisions]
+        ) == self._chain.head
+
+    def denials(self) -> list[AccessDecision]:
+        return [d for d in self._decisions if not d.allowed]
+
+    def for_subject(self, subject: str) -> list[AccessDecision]:
+        return [d for d in self._decisions if d.subject == subject]
+
+    def denial_rate(self) -> float:
+        if not self._decisions:
+            return 0.0
+        return len(self.denials()) / len(self._decisions)

@@ -1,0 +1,106 @@
+"""Role-based access control with role hierarchies.
+
+Subjects hold roles; roles carry ``(resource_pattern, action)`` permissions
+and may inherit from parent roles.  Resource patterns support a trailing
+``*`` wildcard (``"case-7/*"``), which is how forensic stage scoping and
+supply-chain facility scoping are expressed in the domain modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import AccessDenied, PolicyError
+
+
+def pattern_matches(pattern: str, resource: str) -> bool:
+    """``"a/*"`` matches ``"a/b"``; ``"*"`` matches everything."""
+    if pattern == "*":
+        return True
+    if pattern.endswith("/*"):
+        prefix = pattern[:-1]          # keep the slash
+        return resource.startswith(prefix) or resource == pattern[:-2]
+    return pattern == resource
+
+
+@dataclass
+class Role:
+    """A named permission set, optionally inheriting from parents."""
+
+    name: str
+    permissions: set[tuple[str, str]] = field(default_factory=set)
+    parents: set[str] = field(default_factory=set)
+
+    def allow(self, resource_pattern: str, action: str) -> "Role":
+        self.permissions.add((resource_pattern, action))
+        return self
+
+
+class RBACPolicy:
+    """Role registry + subject-role assignment + decision point."""
+
+    def __init__(self, audit_log=None) -> None:
+        self._roles: dict[str, Role] = {}
+        self._assignments: dict[str, set[str]] = {}
+        self.audit_log = audit_log
+
+    # ------------------------------------------------------------------
+    # Administration
+    # ------------------------------------------------------------------
+    def define_role(self, name: str, parents: Iterable[str] = ()) -> Role:
+        if name in self._roles:
+            raise PolicyError(f"role {name!r} already defined")
+        parent_set = set(parents)
+        for parent in parent_set:
+            if parent not in self._roles:
+                raise PolicyError(f"unknown parent role {parent!r}")
+        role = Role(name=name, parents=parent_set)
+        self._roles[name] = role
+        return role
+
+    def role(self, name: str) -> Role:
+        role = self._roles.get(name)
+        if role is None:
+            raise PolicyError(f"unknown role {name!r}")
+        return role
+
+    def assign(self, subject: str, role_name: str) -> None:
+        self.role(role_name)  # existence check
+        self._assignments.setdefault(subject, set()).add(role_name)
+
+    def unassign(self, subject: str, role_name: str) -> None:
+        self._assignments.get(subject, set()).discard(role_name)
+
+    def roles_of(self, subject: str) -> set[str]:
+        """All roles held, including inherited ones."""
+        direct = self._assignments.get(subject, set())
+        closure: set[str] = set()
+        frontier = list(direct)
+        while frontier:
+            name = frontier.pop()
+            if name in closure:
+                continue
+            closure.add(name)
+            frontier.extend(self._roles[name].parents)
+        return closure
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def is_allowed(self, subject: str, resource: str, action: str) -> bool:
+        allowed = any(
+            pattern_matches(pattern, resource) and granted == action
+            for role_name in self.roles_of(subject)
+            for (pattern, granted) in self._roles[role_name].permissions
+        )
+        if self.audit_log is not None:
+            self.audit_log.record(subject, resource, action, allowed,
+                                  mechanism="rbac")
+        return allowed
+
+    def require(self, subject: str, resource: str, action: str) -> None:
+        if not self.is_allowed(subject, resource, action):
+            raise AccessDenied(
+                f"RBAC: {subject} may not {action} on {resource}"
+            )

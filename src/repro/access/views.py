@@ -1,0 +1,138 @@
+"""LedgerView-style access-control views.
+
+LedgerView [66] adds *views* on top of a permissioned ledger: a view is a
+filtered projection of ledger contents shared with named grantees, either
+
+* **revocable** — the owner can withdraw access later, or
+* **irrevocable** — access, once granted, survives; the view's content
+  set is frozen at creation so the grantee's entitlement is stable.
+
+Views here project over a :class:`~repro.storage.provdb.ProvenanceDatabase`
+through a predicate; the manager enforces grants and records every
+access.  The paper notes LedgerView "lacks some privacy demands such as
+anonymity" — grantees are identified; pair with
+:mod:`repro.privacy.anonymity` pseudonyms when that matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import AccessDenied, PolicyError
+from ..storage.provdb import ProvenanceDatabase
+
+RecordPredicate = Callable[[dict], bool]
+
+
+@dataclass
+class LedgerView:
+    """A named, granted projection of the ledger."""
+
+    view_id: str
+    owner: str
+    predicate: RecordPredicate
+    revocable: bool
+    grantees: set[str] = field(default_factory=set)
+    revoked: bool = False
+    # Irrevocable views freeze their record-id set at creation.
+    frozen_ids: tuple[str, ...] | None = None
+
+
+class ViewManager:
+    """Creates, grants, revokes, and serves views over a database."""
+
+    def __init__(self, database: ProvenanceDatabase, audit_log=None) -> None:
+        self.database = database
+        self.audit_log = audit_log
+        self._views: dict[str, LedgerView] = {}
+        self.reads_served = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create_view(
+        self,
+        view_id: str,
+        owner: str,
+        predicate: RecordPredicate,
+        revocable: bool = True,
+    ) -> LedgerView:
+        if view_id in self._views:
+            raise PolicyError(f"view {view_id!r} already exists")
+        frozen: tuple[str, ...] | None = None
+        if not revocable:
+            # Snapshot the matching record ids now; the grantee's
+            # entitlement cannot silently shrink afterwards.
+            frozen = tuple(
+                str(r["record_id"]) for r in self.database.scan(predicate)
+            )
+        view = LedgerView(
+            view_id=view_id,
+            owner=owner,
+            predicate=predicate,
+            revocable=revocable,
+            frozen_ids=frozen,
+        )
+        self._views[view_id] = view
+        return view
+
+    def _require_view(self, view_id: str) -> LedgerView:
+        view = self._views.get(view_id)
+        if view is None:
+            raise PolicyError(f"no view {view_id!r}")
+        return view
+
+    def grant(self, view_id: str, owner: str, grantee: str) -> None:
+        view = self._require_view(view_id)
+        if view.owner != owner:
+            raise AccessDenied(f"only {view.owner} may grant {view_id!r}")
+        if view.revoked:
+            raise PolicyError(f"view {view_id!r} is revoked")
+        view.grantees.add(grantee)
+
+    def revoke_grant(self, view_id: str, owner: str, grantee: str) -> None:
+        view = self._require_view(view_id)
+        if view.owner != owner:
+            raise AccessDenied(f"only {view.owner} may revoke on {view_id!r}")
+        if not view.revocable:
+            raise PolicyError(
+                f"view {view_id!r} is irrevocable; grants cannot be withdrawn"
+            )
+        view.grantees.discard(grantee)
+
+    def revoke_view(self, view_id: str, owner: str) -> None:
+        view = self._require_view(view_id)
+        if view.owner != owner:
+            raise AccessDenied(f"only {view.owner} may revoke {view_id!r}")
+        if not view.revocable:
+            raise PolicyError(f"view {view_id!r} is irrevocable")
+        view.revoked = True
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def read(self, view_id: str, reader: str) -> list[dict]:
+        """Serve the view's current contents to an authorized reader."""
+        view = self._require_view(view_id)
+        allowed = (
+            not view.revoked
+            and (reader == view.owner or reader in view.grantees)
+        )
+        if self.audit_log is not None:
+            self.audit_log.record(reader, f"view:{view_id}", "read", allowed,
+                                  mechanism="view")
+        if not allowed:
+            raise AccessDenied(f"{reader} may not read view {view_id!r}")
+        self.reads_served += 1
+        if view.frozen_ids is not None:
+            return [self.database.get(rid) for rid in view.frozen_ids
+                    if self.database.contains(rid)]
+        return self.database.scan(view.predicate)
+
+    def readable_by(self, reader: str) -> list[str]:
+        return sorted(
+            view_id for view_id, view in self._views.items()
+            if not view.revoked and (reader == view.owner
+                                     or reader in view.grantees)
+        )

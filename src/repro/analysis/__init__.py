@@ -1,0 +1,30 @@
+"""Measurement and reporting.
+
+* :mod:`~repro.analysis.metrics` — throughput/latency/storage accounting
+  along the evaluation axes the paper's §6.1 enumerates;
+* :mod:`~repro.analysis.harness` — parameter sweeps with tabular output;
+* :mod:`~repro.analysis.tables` — regenerates the paper's Tables 1 and 2
+  from the implemented schemas and domain capability registries;
+* :mod:`~repro.analysis.figures` — emits figure-shaped series (ASCII/CSV)
+  for the five conceptual figures.
+"""
+
+from .metrics import LatencyRecorder, StorageAccounting, ThroughputMeter
+from .harness import Sweep, SweepResult, format_table
+from .tables import render_table1, render_table2, table1_data, table2_data
+from .figures import ascii_series, series_to_csv
+
+__all__ = [
+    "LatencyRecorder",
+    "StorageAccounting",
+    "ThroughputMeter",
+    "Sweep",
+    "SweepResult",
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "table1_data",
+    "table2_data",
+    "ascii_series",
+    "series_to_csv",
+]

@@ -1,0 +1,50 @@
+"""Figure-shaped output: ASCII sparklines and CSV series.
+
+The paper's figures are conceptual diagrams; the FIG benches emit the
+*measured* counterpart of each as (x, y) series.  These helpers render
+the series for terminal output and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_series(values: Sequence[float], width: int = 60) -> str:
+    """A one-line sparkline of ``values`` (downsampled to ``width``)."""
+    if not values:
+        return "(empty series)"
+    values = list(values)
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(i * stride)] for i in range(width)]
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _BLOCKS[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / (hi - lo) * (len(_BLOCKS) - 1))
+        out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def series_to_csv(xs: Sequence, ys: Sequence,
+                  x_name: str = "x", y_name: str = "y") -> str:
+    """CSV text for a single series."""
+    lines = [f"{x_name},{y_name}"]
+    for x, y in zip(xs, ys):
+        lines.append(f"{x},{y}")
+    return "\n".join(lines)
+
+
+def multi_series_to_csv(xs: Sequence, named_series: dict,
+                        x_name: str = "x") -> str:
+    """CSV with one column per named series."""
+    names = list(named_series)
+    lines = [",".join([x_name, *names])]
+    for i, x in enumerate(xs):
+        row = [str(x)] + [str(named_series[name][i]) for name in names]
+        lines.append(",".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Parameter-sweep harness.
+
+Benchmarks that sweep a parameter (node count, batch size, attacker
+fraction) use :class:`Sweep` to run each point through a measurement
+function and collect rows; :func:`format_table` prints them in the
+aligned form EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+Measurement = Callable[[Any], Mapping[str, Any]]
+
+
+@dataclass
+class SweepResult:
+    """Rows of a completed sweep."""
+
+    parameter: str
+    rows: list[dict] = field(default_factory=list)
+
+    def column(self, name: str) -> list:
+        return [row[name] for row in self.rows]
+
+    def to_table(self, columns: list[str] | None = None) -> str:
+        if not self.rows:
+            return "(empty sweep)"
+        columns = columns or list(self.rows[0])
+        return format_table(self.rows, columns)
+
+    def is_monotonic(self, column: str, increasing: bool = True) -> bool:
+        """Sanity predicate used by bench assertions (shape checks)."""
+        values = self.column(column)
+        pairs = zip(values, values[1:])
+        if increasing:
+            return all(a <= b for a, b in pairs)
+        return all(a >= b for a, b in pairs)
+
+
+@dataclass
+class Sweep:
+    """Run ``measure(point)`` for every point of a parameter range."""
+
+    parameter: str
+    points: Iterable[Any]
+    measure: Measurement
+
+    def run(self) -> SweepResult:
+        result = SweepResult(parameter=self.parameter)
+        for point in self.points:
+            row = {self.parameter: point}
+            row.update(self.measure(point))
+            result.rows.append(row)
+        return result
+
+
+def format_table(rows: list[Mapping[str, Any]], columns: list[str]) -> str:
+    """Fixed-width text table (benchmarks print these for the report)."""
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    widths = {
+        col: max(len(col), *(len(fmt(r.get(col, ""))) for r in rows))
+        for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    rule = "  ".join("-" * widths[col] for col in columns)
+    lines = [header, rule]
+    for row in rows:
+        lines.append("  ".join(
+            fmt(row.get(col, "")).ljust(widths[col]) for col in columns
+        ))
+    return "\n".join(lines)

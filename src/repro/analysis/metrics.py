@@ -1,0 +1,141 @@
+"""Measurement utilities along the paper's §6.1 evaluation axes:
+throughput, retrieval latency, storage overhead, upload overhead, and
+validation time."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class LatencyRecorder:
+    """Collects samples (wall-clock seconds or simulated ticks) and
+    reports percentiles."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        self._samples.append(float(value))
+
+    def time_block(self):
+        """Context manager measuring one wall-clock sample.
+
+        >>> rec = LatencyRecorder()
+        >>> with rec.time_block():
+        ...     _ = sum(range(10))
+        >>> rec.count
+        1
+        """
+        recorder = self
+
+        class _Timer:
+            def __enter__(self):
+                self._t0 = time.perf_counter()
+                return self
+
+            def __exit__(self, *exc):
+                recorder.record(time.perf_counter() - self._t0)
+                return False
+
+        return _Timer()
+
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile; ``p`` in [0, 100]."""
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        ordered = sorted(self._samples)
+        if p <= 0:
+            return ordered[0]
+        if p >= 100:
+            return ordered[-1]
+        rank = max(1, round(p / 100 * len(ordered)))
+        return ordered[rank - 1]
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        return sum(self._samples) / len(self._samples)
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.percentile(100),
+        }
+
+
+class ThroughputMeter:
+    """Operations per wall-clock second over an explicit window."""
+
+    def __init__(self) -> None:
+        self._t0: float | None = None
+        self._ops = 0
+        self._elapsed = 0.0
+
+    def start(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def add_ops(self, count: int = 1) -> None:
+        self._ops += count
+
+    def stop(self) -> None:
+        if self._t0 is None:
+            raise ValueError("meter never started")
+        self._elapsed += time.perf_counter() - self._t0
+        self._t0 = None
+
+    @property
+    def ops(self) -> int:
+        return self._ops
+
+    def per_second(self) -> float:
+        if self._elapsed <= 0:
+            raise ValueError("no measured window")
+        return self._ops / self._elapsed
+
+
+@dataclass
+class StorageAccounting:
+    """On-chain vs off-chain byte accounting (the storage-locus axis)."""
+
+    on_chain_bytes: int = 0
+    off_chain_bytes: int = 0
+    proof_bytes: int = 0
+    labels: dict = field(default_factory=dict)
+
+    def add_on_chain(self, n: int, label: str = "") -> None:
+        self.on_chain_bytes += n
+        if label:
+            self.labels[label] = self.labels.get(label, 0) + n
+
+    def add_off_chain(self, n: int, label: str = "") -> None:
+        self.off_chain_bytes += n
+        if label:
+            self.labels[label] = self.labels.get(label, 0) + n
+
+    def add_proof(self, n: int) -> None:
+        self.proof_bytes += n
+
+    @property
+    def total(self) -> int:
+        return self.on_chain_bytes + self.off_chain_bytes
+
+    def on_chain_fraction(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.on_chain_bytes / self.total
+
+    def expansion_factor(self, payload_bytes: int) -> float:
+        """Total stored bytes per payload byte (overhead multiple)."""
+        if payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+        return self.total / payload_bytes

@@ -1,0 +1,153 @@
+"""Blocks: header + transaction body (the paper's Figure 2).
+
+A block header commits to
+
+* its position (``height``) and parent (``prev_hash``),
+* the transactions via ``merkle_root``,
+* the proposer and consensus-specific metadata (PoW nonce/difficulty,
+  PoS stake proof, PBFT view, …).
+
+Any mutation of any transaction changes the Merkle root and hence the
+header hash, which invalidates the ``prev_hash`` of the next block — the
+chain-of-hashes immutability argument the paper summarizes in §2.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..crypto.hashing import DOMAIN_BLOCK, ZERO_HASH, hash_canonical
+from ..crypto.merkle import MerkleProof, MerkleTree
+from ..errors import InvalidBlock
+from .transaction import Transaction
+
+GENESIS_PREV_HASH = ZERO_HASH
+
+
+@dataclass
+class BlockHeader:
+    """Canonical block header."""
+
+    height: int
+    prev_hash: bytes
+    merkle_root: bytes
+    timestamp: int
+    proposer: str
+    consensus_meta: Mapping[str, Any] = field(default_factory=dict)
+    nonce: int = 0
+
+    def to_canonical(self) -> dict:
+        return {
+            "height": self.height,
+            "prev_hash": self.prev_hash,
+            "merkle_root": self.merkle_root,
+            "timestamp": self.timestamp,
+            "proposer": self.proposer,
+            "consensus_meta": dict(self.consensus_meta),
+            "nonce": self.nonce,
+        }
+
+    @property
+    def block_hash(self) -> bytes:
+        return hash_canonical(self.to_canonical(), DOMAIN_BLOCK)
+
+    @property
+    def block_id(self) -> str:
+        return self.block_hash.hex()
+
+
+class Block:
+    """A block binds a header to its transaction body.
+
+    The Merkle tree over transactions is built once at construction and
+    cached so inclusion proofs are cheap.
+    """
+
+    def __init__(
+        self,
+        height: int,
+        prev_hash: bytes,
+        transactions: Sequence[Transaction],
+        timestamp: int = 0,
+        proposer: str = "",
+        consensus_meta: Mapping[str, Any] | None = None,
+        nonce: int = 0,
+    ) -> None:
+        self.transactions: list[Transaction] = list(transactions)
+        self._tree = MerkleTree([tx.tx_hash for tx in self.transactions])
+        self.header = BlockHeader(
+            height=height,
+            prev_hash=prev_hash,
+            merkle_root=self._tree.root,
+            timestamp=timestamp,
+            proposer=proposer,
+            consensus_meta=dict(consensus_meta or {}),
+            nonce=nonce,
+        )
+
+    # ------------------------------------------------------------------
+    # Identity & access
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return self.header.height
+
+    @property
+    def block_hash(self) -> bytes:
+        return self.header.block_hash
+
+    @property
+    def block_id(self) -> str:
+        return self.header.block_id
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self) -> Iterable[Transaction]:
+        return iter(self.transactions)
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def recompute_merkle_root(self) -> bytes:
+        """Root over the *current* transaction list (tamper check)."""
+        return MerkleTree([tx.tx_hash for tx in self.transactions]).root
+
+    def verify_structure(self) -> None:
+        """Check internal consistency; raises :class:`InvalidBlock`.
+
+        Catches the Figure-2 attack: a transaction in the body was
+        mutated after the header was formed.
+        """
+        if self.recompute_merkle_root() != self.header.merkle_root:
+            raise InvalidBlock(
+                f"block {self.height}: merkle root mismatch "
+                "(transaction body was modified)"
+            )
+        if self.header.height < 0:
+            raise InvalidBlock("negative height")
+
+    def prove_inclusion(self, index: int) -> MerkleProof:
+        """Merkle inclusion proof for the transaction at ``index``."""
+        return self._tree.prove(index)
+
+    def find_transaction(self, tx_id: str) -> tuple[int, Transaction] | None:
+        for i, tx in enumerate(self.transactions):
+            if tx.tx_id == tx_id:
+                return i, tx
+        return None
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate serialized size (storage benches)."""
+        from ..serialization import canonical_encode
+
+        header_size = len(canonical_encode(self.header.to_canonical()))
+        return header_size + sum(tx.size_bytes for tx in self.transactions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Block(height={self.height}, txs={len(self.transactions)}, "
+            f"id={self.block_id[:10]}…)"
+        )

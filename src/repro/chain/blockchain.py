@@ -1,0 +1,326 @@
+"""The blockchain: an append-only, tamper-evident ledger of blocks.
+
+Responsibilities:
+
+* maintain the canonical chain (genesis → head) and a transaction index,
+* validate every appended block (structure, linkage, height, signatures),
+* execute transactions against the :class:`~repro.chain.state.StateStore`
+  through a pluggable executor, collecting receipts and events,
+* verify the whole chain after the fact (:meth:`verify`), which is the
+  operation that *detects* the Figure-2 tampering scenario,
+* support simple longest-chain reorganizations for the consensus sims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from ..crypto.merkle import MerkleProof, verify_proof
+from ..errors import ForkError, InvalidBlock, TamperDetected
+from .block import Block, GENESIS_PREV_HASH
+from .receipts import Event, TransactionReceipt
+from .state import StateStore
+from .transaction import Transaction, TxKind
+
+# An executor applies one transaction to state, returning a receipt.
+Executor = Callable[[Transaction, StateStore, "Blockchain"], TransactionReceipt]
+
+
+@dataclass
+class ChainParams:
+    """Static parameters of a chain instance."""
+
+    chain_id: str = "chain-0"
+    max_block_txs: int = 256
+    require_signatures: bool = False
+    genesis_timestamp: int = 0
+    # Free-form descriptors used by cross-chain compatibility checks.
+    visibility: str = "private"          # "public" | "private" | "consortium"
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+
+def default_executor(
+    tx: Transaction, state: StateStore, chain: "Blockchain"
+) -> TransactionReceipt:
+    """Built-in executor for plain value/data transactions.
+
+    Contract transactions are handled when a
+    :class:`~repro.contracts.runtime.ContractRuntime` is attached to the
+    chain; without one they fail cleanly.
+    """
+    receipt = TransactionReceipt(tx_id=tx.tx_id, success=True, gas_used=1)
+    try:
+        if tx.kind == TxKind.TRANSFER:
+            amount = int(tx.payload["amount"])
+            state.transfer(tx.sender, str(tx.payload["to"]), amount)
+            receipt.events.append(
+                Event("transfer", "chain", {"from": tx.sender,
+                                            "to": tx.payload["to"],
+                                            "amount": amount})
+            )
+        elif tx.kind == TxKind.DATA:
+            key = str(tx.payload.get("key", tx.tx_id))
+            state.set("data", key, tx.payload.get("value"))
+            receipt.gas_used = 1 + tx.size_bytes // 64
+        elif tx.kind == TxKind.PROVENANCE:
+            key = str(tx.payload.get("anchor_id", tx.tx_id))
+            state.set("provenance", key, dict(tx.payload))
+            receipt.gas_used = 2
+            receipt.events.append(
+                Event("provenance_anchored", "chain", {"anchor_id": key})
+            )
+        elif tx.kind in (TxKind.CONTRACT_DEPLOY, TxKind.CONTRACT_CALL):
+            runtime = chain.contract_runtime
+            if runtime is None:
+                raise InvalidBlock("no contract runtime attached to chain")
+            return runtime.execute(tx, state)
+        elif tx.kind == TxKind.CROSS_CHAIN:
+            key = str(tx.payload.get("message_id", tx.tx_id))
+            state.set("crosschain", key, dict(tx.payload))
+            receipt.events.append(
+                Event("cross_chain_message", "chain", {"message_id": key})
+            )
+        elif tx.kind == TxKind.GOVERNANCE:
+            key = str(tx.payload.get("param", tx.tx_id))
+            state.set("governance", key, tx.payload.get("value"))
+        else:  # pragma: no cover - enum is closed
+            raise InvalidBlock(f"unknown tx kind {tx.kind}")
+    except Exception as exc:  # noqa: BLE001 - receipts capture failures
+        receipt.success = False
+        receipt.error = str(exc)
+    return receipt
+
+
+class Blockchain:
+    """A single chain instance (one per organization / per node copy)."""
+
+    def __init__(
+        self,
+        params: ChainParams | None = None,
+        executor: Executor | None = None,
+    ) -> None:
+        self.params = params or ChainParams()
+        self.executor: Executor = executor or default_executor
+        self.state = StateStore()
+        self.blocks: list[Block] = []
+        self.receipts: dict[str, TransactionReceipt] = {}
+        self._tx_index: dict[str, tuple[int, int]] = {}  # tx_id -> (height, pos)
+        self.contract_runtime = None  # set by ContractRuntime.attach()
+        self._subscribers: list[Callable[[Block, list[TransactionReceipt]], None]] = []
+        genesis = Block(
+            height=0,
+            prev_hash=GENESIS_PREV_HASH,
+            transactions=[],
+            timestamp=self.params.genesis_timestamp,
+            proposer="genesis",
+            consensus_meta={"chain_id": self.params.chain_id},
+        )
+        self.blocks.append(genesis)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def chain_id(self) -> str:
+        return self.params.chain_id
+
+    @property
+    def head(self) -> Block:
+        return self.blocks[-1]
+
+    @property
+    def height(self) -> int:
+        return self.head.height
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    def block_at(self, height: int) -> Block:
+        if not 0 <= height < len(self.blocks):
+            raise InvalidBlock(f"no block at height {height}")
+        return self.blocks[height]
+
+    def find_transaction(self, tx_id: str) -> tuple[Block, Transaction] | None:
+        """Locate a committed transaction by id via the index."""
+        loc = self._tx_index.get(tx_id)
+        if loc is None:
+            return None
+        height, pos = loc
+        block = self.blocks[height]
+        return block, block.transactions[pos]
+
+    def receipt_for(self, tx_id: str) -> TransactionReceipt | None:
+        return self.receipts.get(tx_id)
+
+    def subscribe(
+        self, callback: Callable[[Block, list[TransactionReceipt]], None]
+    ) -> None:
+        """Register a hook invoked after each block commit (capture layer)."""
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    # Building and appending blocks
+    # ------------------------------------------------------------------
+    def build_block(
+        self,
+        transactions: list[Transaction],
+        timestamp: int = 0,
+        proposer: str = "",
+        consensus_meta: Mapping[str, Any] | None = None,
+        nonce: int = 0,
+    ) -> Block:
+        """Assemble (but do not append) the next block."""
+        if len(transactions) > self.params.max_block_txs:
+            raise InvalidBlock(
+                f"block would carry {len(transactions)} txs; "
+                f"limit is {self.params.max_block_txs}"
+            )
+        return Block(
+            height=self.height + 1,
+            prev_hash=self.head.block_hash,
+            transactions=transactions,
+            timestamp=timestamp,
+            proposer=proposer,
+            consensus_meta=consensus_meta,
+            nonce=nonce,
+        )
+
+    def append_block(self, block: Block) -> list[TransactionReceipt]:
+        """Validate, execute, and commit ``block``; returns its receipts."""
+        self._validate_linkage(block, expected_height=self.height + 1)
+        block.verify_structure()
+        for tx in block.transactions:
+            tx.validate(require_signature=self.params.require_signatures)
+        receipts = []
+        for pos, tx in enumerate(block.transactions):
+            receipt = self.executor(tx, self.state, self)
+            receipt.block_height = block.height
+            receipts.append(receipt)
+            self.receipts[tx.tx_id] = receipt
+            self._tx_index[tx.tx_id] = (block.height, pos)
+        self.blocks.append(block)
+        for callback in self._subscribers:
+            callback(block, receipts)
+        return receipts
+
+    def _validate_linkage(self, block: Block, expected_height: int) -> None:
+        if block.height != expected_height:
+            raise InvalidBlock(
+                f"expected height {expected_height}, got {block.height}"
+            )
+        if block.header.prev_hash != self.head.block_hash:
+            raise InvalidBlock(
+                f"block {block.height} does not link to current head "
+                f"{self.head.block_id[:10]}…"
+            )
+
+    # ------------------------------------------------------------------
+    # Whole-chain verification (tamper detection)
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Re-verify every block and link; raises :class:`TamperDetected`.
+
+        This is the auditor's operation: it detects any post-hoc mutation
+        of a committed transaction or header, and reports *where* the
+        chain breaks.
+        """
+        prev_hash = GENESIS_PREV_HASH
+        for block in self.blocks:
+            if block.header.prev_hash != prev_hash:
+                raise TamperDetected(
+                    f"chain broken at height {block.height}: prev-hash "
+                    "does not match preceding block"
+                )
+            try:
+                block.verify_structure()
+            except InvalidBlock as exc:
+                raise TamperDetected(str(exc)) from exc
+            prev_hash = block.header.block_hash
+
+    def is_intact(self) -> bool:
+        """Boolean form of :meth:`verify`."""
+        try:
+            self.verify()
+        except TamperDetected:
+            return False
+        return True
+
+    def first_broken_height(self) -> int | None:
+        """Height of the first integrity violation, or ``None`` if intact."""
+        prev_hash = GENESIS_PREV_HASH
+        for block in self.blocks:
+            if block.header.prev_hash != prev_hash:
+                return block.height
+            if block.recompute_merkle_root() != block.header.merkle_root:
+                return block.height
+            prev_hash = block.header.block_hash
+        return None
+
+    # ------------------------------------------------------------------
+    # Light-client style proofs
+    # ------------------------------------------------------------------
+    def prove_transaction(self, tx_id: str) -> tuple[Block, MerkleProof] | None:
+        """Inclusion proof usable by a holder of just the block header."""
+        loc = self._tx_index.get(tx_id)
+        if loc is None:
+            return None
+        height, pos = loc
+        block = self.blocks[height]
+        return block, block.prove_inclusion(pos)
+
+    @staticmethod
+    def verify_transaction_proof(
+        header_merkle_root: bytes, tx: Transaction, proof: MerkleProof
+    ) -> bool:
+        """Check an inclusion proof against a known header root."""
+        return verify_proof(header_merkle_root, tx.tx_hash, proof)
+
+    # ------------------------------------------------------------------
+    # Reorganization (longest-chain consensus support)
+    # ------------------------------------------------------------------
+    def reorg_to(self, new_suffix: list[Block], fork_height: int) -> None:
+        """Replace blocks above ``fork_height`` with ``new_suffix``.
+
+        Only accepts strictly longer chains (longest-chain rule).  State is
+        rebuilt by replaying from genesis — simple and obviously correct,
+        at simulation scale.
+        """
+        if fork_height < 0 or fork_height > self.height:
+            raise ForkError(f"fork height {fork_height} out of range")
+        if fork_height + len(new_suffix) <= self.height:
+            raise ForkError("refusing reorg: new chain is not longer")
+        kept = self.blocks[: fork_height + 1]
+        candidate = kept + list(new_suffix)
+        # Validate linkage of the candidate before committing to it.
+        for i in range(1, len(candidate)):
+            if candidate[i].header.prev_hash != candidate[i - 1].block_hash:
+                raise ForkError(f"candidate chain broken at index {i}")
+            candidate[i].verify_structure()
+        self._replay(candidate)
+
+    def _replay(self, blocks: list[Block]) -> None:
+        self.state = StateStore()
+        self.receipts.clear()
+        self._tx_index.clear()
+        self.blocks = [blocks[0]]
+        for block in blocks[1:]:
+            # Re-execute without re-validating signatures (already done).
+            receipts = []
+            for pos, tx in enumerate(block.transactions):
+                receipt = self.executor(tx, self.state, self)
+                receipt.block_height = block.height
+                receipts.append(receipt)
+                self.receipts[tx.tx_id] = receipt
+                self._tx_index[tx.tx_id] = (block.height, pos)
+            self.blocks.append(block)
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    @property
+    def total_size_bytes(self) -> int:
+        return sum(block.size_bytes for block in self.blocks)

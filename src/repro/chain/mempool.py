@@ -1,0 +1,93 @@
+"""Transaction mempool.
+
+Pending transactions wait here until a consensus engine selects a batch
+for the next block.  Ordering is by fee (descending) then arrival (FIFO),
+which matches the "highest fee first" policy of public chains while
+degenerating to FIFO on permissioned chains where fees are zero.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from ..errors import InvalidTransaction
+from .transaction import Transaction
+
+
+class Mempool:
+    """A bounded, deduplicating, fee-prioritized transaction pool."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._heap: list[tuple[int, int, str]] = []  # (-fee, seq, tx_id)
+        self._by_id: dict[str, Transaction] = {}
+        self._seq = 0
+        self.total_accepted = 0
+        self.total_rejected = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, tx_id: str) -> bool:
+        return tx_id in self._by_id
+
+    # ------------------------------------------------------------------
+    def add(self, tx: Transaction) -> bool:
+        """Add ``tx``; returns ``False`` for duplicates, raises when full."""
+        tx.validate()
+        tx_id = tx.tx_id
+        if tx_id in self._by_id:
+            self.total_rejected += 1
+            return False
+        if len(self._by_id) >= self.capacity:
+            self.total_rejected += 1
+            raise InvalidTransaction("mempool full")
+        self._by_id[tx_id] = tx
+        heapq.heappush(self._heap, (-tx.fee, self._seq, tx_id))
+        self._seq += 1
+        self.total_accepted += 1
+        return True
+
+    def add_many(self, txs: Iterable[Transaction]) -> int:
+        """Add several transactions; returns how many were new."""
+        return sum(1 for tx in txs if self.add(tx))
+
+    def pop_batch(self, max_count: int) -> list[Transaction]:
+        """Remove and return up to ``max_count`` transactions in priority
+        order (fee desc, then FIFO)."""
+        batch: list[Transaction] = []
+        while self._heap and len(batch) < max_count:
+            _, _, tx_id = heapq.heappop(self._heap)
+            tx = self._by_id.pop(tx_id, None)
+            if tx is not None:  # skip entries removed via `remove`
+                batch.append(tx)
+        return batch
+
+    def peek_batch(self, max_count: int) -> list[Transaction]:
+        """Return (without removing) the next batch in priority order."""
+        snapshot = sorted(self._heap)
+        batch = []
+        for _, _, tx_id in snapshot:
+            tx = self._by_id.get(tx_id)
+            if tx is not None:
+                batch.append(tx)
+                if len(batch) >= max_count:
+                    break
+        return batch
+
+    def remove(self, tx_ids: Iterable[str]) -> int:
+        """Drop transactions (e.g., already committed by a peer's block)."""
+        removed = 0
+        for tx_id in tx_ids:
+            if self._by_id.pop(tx_id, None) is not None:
+                removed += 1
+        # Stale heap entries are lazily skipped in pop_batch.
+        return removed
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._by_id.clear()

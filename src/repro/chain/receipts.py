@@ -1,0 +1,47 @@
+"""Execution receipts and event logs.
+
+Every transaction applied to a chain produces a receipt recording whether
+it succeeded, how much gas it burned, and which contract events it
+emitted.  Receipts are how provenance capture hooks observe on-chain
+activity without re-executing it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class Event:
+    """A structured event emitted during transaction execution."""
+
+    name: str
+    source: str                      # contract address or subsystem name
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_canonical(self) -> dict:
+        return {"name": self.name, "source": self.source, "data": dict(self.data)}
+
+
+@dataclass
+class TransactionReceipt:
+    """Outcome of applying one transaction."""
+
+    tx_id: str
+    success: bool
+    gas_used: int = 0
+    output: Any = None
+    error: str | None = None
+    events: list[Event] = field(default_factory=list)
+    block_height: int | None = None
+
+    def to_canonical(self) -> dict:
+        return {
+            "tx_id": self.tx_id,
+            "success": self.success,
+            "gas_used": self.gas_used,
+            "error": self.error or "",
+            "events": [e.to_canonical() for e in self.events],
+            "block_height": -1 if self.block_height is None else self.block_height,
+        }

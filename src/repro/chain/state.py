@@ -1,0 +1,146 @@
+"""Deterministic key-value state machine with snapshots.
+
+The chain's *state* is what transactions mutate: account balances, contract
+storage, registered provenance anchors.  A flat namespaced key-value store
+is enough for every system in the library, and keeping it simple makes
+determinism easy to audit.
+
+Snapshots support contract revert semantics: the runtime snapshots before
+each call and rolls back on :class:`~repro.errors.ContractReverted`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..errors import ChainError
+
+
+class StateStore:
+    """Namespaced key-value state with copy-on-write snapshots.
+
+    Keys are ``(namespace, key)`` string pairs.  Balances live in the
+    ``"balance"`` namespace as ints.
+
+    >>> state = StateStore()
+    >>> state.credit("alice", 100)
+    >>> snap = state.snapshot()
+    >>> state.debit("alice", 30)
+    >>> state.balance("alice")
+    70
+    >>> state.rollback(snap)
+    >>> state.balance("alice")
+    100
+    """
+
+    BALANCE_NS = "balance"
+
+    def __init__(self) -> None:
+        self._data: dict[tuple[str, str], Any] = {}
+        # Undo journal: list of (key, had_value, old_value) per snapshot.
+        self._journal: list[list[tuple[tuple[str, str], bool, Any]]] = []
+
+    # ------------------------------------------------------------------
+    # Raw access
+    # ------------------------------------------------------------------
+    def get(self, namespace: str, key: str, default: Any = None) -> Any:
+        return self._data.get((namespace, key), default)
+
+    def set(self, namespace: str, key: str, value: Any) -> None:
+        full_key = (namespace, key)
+        if self._journal:
+            had = full_key in self._data
+            self._journal[-1].append((full_key, had, self._data.get(full_key)))
+        self._data[full_key] = value
+
+    def delete(self, namespace: str, key: str) -> None:
+        full_key = (namespace, key)
+        if full_key in self._data:
+            if self._journal:
+                self._journal[-1].append((full_key, True, self._data[full_key]))
+            del self._data[full_key]
+
+    def contains(self, namespace: str, key: str) -> bool:
+        return (namespace, key) in self._data
+
+    def items(self, namespace: str) -> Iterator[tuple[str, Any]]:
+        """Iterate ``(key, value)`` pairs within a namespace (sorted)."""
+        selected = [
+            (k[1], v) for k, v in self._data.items() if k[0] == namespace
+        ]
+        selected.sort(key=lambda kv: kv[0])
+        return iter(selected)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # ------------------------------------------------------------------
+    # Balances
+    # ------------------------------------------------------------------
+    def balance(self, account: str) -> int:
+        return int(self.get(self.BALANCE_NS, account, 0))
+
+    def credit(self, account: str, amount: int) -> None:
+        if amount < 0:
+            raise ChainError("credit amount must be non-negative")
+        self.set(self.BALANCE_NS, account, self.balance(account) + amount)
+
+    def debit(self, account: str, amount: int) -> None:
+        if amount < 0:
+            raise ChainError("debit amount must be non-negative")
+        current = self.balance(account)
+        if current < amount:
+            raise ChainError(
+                f"insufficient balance: {account} has {current}, needs {amount}"
+            )
+        self.set(self.BALANCE_NS, account, current - amount)
+
+    def transfer(self, src: str, dst: str, amount: int) -> None:
+        self.debit(src, amount)
+        self.credit(dst, amount)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> int:
+        """Open a snapshot; returns a handle for :meth:`rollback`."""
+        self._journal.append([])
+        return len(self._journal) - 1
+
+    def commit_snapshot(self, handle: int) -> None:
+        """Discard the undo log for ``handle`` (changes become permanent
+        relative to that snapshot), folding it into the parent if any."""
+        self._check_handle(handle)
+        entries = self._journal.pop()
+        if self._journal:
+            # Parent snapshot must still be able to undo these changes.
+            self._journal[-1].extend(entries)
+
+    def rollback(self, handle: int) -> None:
+        """Undo every change made since ``handle`` was taken."""
+        self._check_handle(handle)
+        entries = self._journal.pop()
+        for full_key, had, old in reversed(entries):
+            if had:
+                self._data[full_key] = old
+            else:
+                self._data.pop(full_key, None)
+
+    def _check_handle(self, handle: int) -> None:
+        if handle != len(self._journal) - 1:
+            raise ChainError(
+                f"snapshot handles must nest: got {handle}, "
+                f"expected {len(self._journal) - 1}"
+            )
+
+    # ------------------------------------------------------------------
+    # Hashing (state commitments)
+    # ------------------------------------------------------------------
+    def state_root(self) -> bytes:
+        """Deterministic digest over the full state (cheap state anchor)."""
+        from ..crypto.hashing import hash_canonical
+
+        flat = {
+            f"{ns}\x00{key}": value for (ns, key), value in self._data.items()
+        }
+        return hash_canonical(flat)

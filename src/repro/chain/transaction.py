@@ -1,0 +1,129 @@
+"""Typed, signable transactions.
+
+A transaction is the unit every higher layer reduces to: a provenance
+record anchor, a contract invocation, a cross-chain transfer leg — all are
+transactions of a particular :class:`TxKind` with a structured payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Mapping
+
+from ..crypto.hashing import DOMAIN_TX, hash_canonical
+from ..crypto.signatures import KeyPair, PublicKey, verify
+from ..errors import InvalidTransaction
+
+
+class TxKind(str, Enum):
+    """Payload discriminator.
+
+    The set is open-ended in spirit; these cover every use in the library.
+    """
+
+    TRANSFER = "transfer"             # value transfer between accounts
+    DATA = "data"                     # opaque data blob (on-chain storage)
+    PROVENANCE = "provenance"         # a provenance record or batch anchor
+    CONTRACT_DEPLOY = "contract_deploy"
+    CONTRACT_CALL = "contract_call"
+    CROSS_CHAIN = "cross_chain"       # bridge / relay / notary messages
+    GOVERNANCE = "governance"         # validator-set & policy changes
+
+
+@dataclass
+class Transaction:
+    """An immutable-once-signed ledger transaction.
+
+    ``payload`` must be canonically encodable (see
+    :mod:`repro.serialization`); its schema is defined by ``kind``.
+    """
+
+    sender: str
+    kind: TxKind
+    payload: Mapping[str, Any]
+    nonce: int = 0
+    timestamp: int = 0
+    fee: int = 0
+    signature: bytes | None = field(default=None, compare=False)
+    signer: PublicKey | None = field(default=None, compare=False)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def signing_body(self) -> dict:
+        """The canonical content covered by the hash and signature."""
+        return {
+            "sender": self.sender,
+            "kind": self.kind.value,
+            "payload": dict(self.payload),
+            "nonce": self.nonce,
+            "timestamp": self.timestamp,
+            "fee": self.fee,
+        }
+
+    @property
+    def tx_hash(self) -> bytes:
+        return hash_canonical(self.signing_body(), DOMAIN_TX)
+
+    @property
+    def tx_id(self) -> str:
+        """Hex transaction id (prefix of the hash, collision-safe enough
+        for in-process simulation sizes)."""
+        return self.tx_hash.hex()
+
+    def to_canonical(self) -> dict:
+        return self.signing_body()
+
+    # ------------------------------------------------------------------
+    # Signing
+    # ------------------------------------------------------------------
+    def sign_with(self, keypair: KeyPair) -> "Transaction":
+        """Attach a signature; the sender must match the key's address."""
+        if self.sender != keypair.address:
+            raise InvalidTransaction(
+                f"sender {self.sender!r} does not match signing key "
+                f"address {keypair.address!r}"
+            )
+        self.signature = keypair.sign(self.signing_body())
+        self.signer = keypair.public
+        return self
+
+    def verify_signature(self) -> bool:
+        """True iff the transaction carries a valid signature."""
+        if self.signature is None or self.signer is None:
+            return False
+        if self.signer.address != self.sender:
+            return False
+        return verify(self.signing_body(), self.signature, self.signer)
+
+    def validate(self, require_signature: bool = False) -> None:
+        """Structural validation; raises :class:`InvalidTransaction`."""
+        if not self.sender:
+            raise InvalidTransaction("transaction has no sender")
+        if self.fee < 0:
+            raise InvalidTransaction("negative fee")
+        if self.nonce < 0:
+            raise InvalidTransaction("negative nonce")
+        if require_signature and not self.verify_signature():
+            raise InvalidTransaction(
+                f"transaction {self.tx_id[:12]} is unsigned or badly signed"
+            )
+
+    # ------------------------------------------------------------------
+    # Size accounting (storage-overhead benches)
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        from ..serialization import canonical_encode
+
+        base = len(canonical_encode(self.signing_body()))
+        if self.signature is not None:
+            base += len(self.signature) + 32
+        return base
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Transaction({self.kind.value}, sender={self.sender[:8]}…, "
+            f"id={self.tx_id[:10]}…)"
+        )

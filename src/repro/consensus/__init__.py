@@ -1,0 +1,31 @@
+"""Consensus engines.
+
+Two families, matching the paper's §2.1 taxonomy:
+
+* **Proposer-selection engines** (PoW, PoS, PoA) — a single node wins the
+  right to seal the next block; the network then gossips it.  These
+  implement :class:`~repro.consensus.base.ConsensusEngine` and can be used
+  standalone on a single chain.
+* **Agreement clusters** (PBFT, Raft) — explicit message-passing state
+  machines over the simulated network, committing a block once a quorum of
+  replicas agrees.  Their empirical message counts are what the
+  EVAL-CONS bench measures against the analytic O(n²) / O(n) expectations.
+"""
+
+from .base import ConsensusEngine, RoundMetrics
+from .pow import ProofOfWork
+from .pos import ProofOfStake, Validator
+from .poa import ProofOfAuthority
+from .pbft import PBFTCluster
+from .raft import RaftCluster
+
+__all__ = [
+    "ConsensusEngine",
+    "RoundMetrics",
+    "ProofOfWork",
+    "ProofOfStake",
+    "Validator",
+    "ProofOfAuthority",
+    "PBFTCluster",
+    "RaftCluster",
+]

@@ -1,0 +1,77 @@
+"""Consensus engine interface and round metrics."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..chain import Block, Blockchain, Transaction
+
+
+@dataclass
+class RoundMetrics:
+    """What one consensus round cost.
+
+    ``work`` is engine-specific: hash attempts for PoW, messages for the
+    agreement clusters.  ``latency_ticks`` is measured on the shared
+    simulated clock where an engine runs on a network, else modeled.
+    """
+
+    engine: str
+    proposer: str = ""
+    work: int = 0
+    messages: int = 0
+    bytes_sent: int = 0
+    latency_ticks: int = 0
+    committed: bool = True
+    extra: dict = field(default_factory=dict)
+
+
+class ConsensusEngine(abc.ABC):
+    """Interface for proposer-selection engines.
+
+    ``seal`` produces the next block for a chain (doing whatever work the
+    mechanism requires); ``validate`` checks a received block's consensus
+    metadata.  The two analytic methods let benches compare mechanisms at
+    node counts too large to simulate.
+    """
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def seal(
+        self,
+        chain: Blockchain,
+        transactions: Sequence[Transaction],
+        timestamp: int = 0,
+    ) -> tuple[Block, RoundMetrics]:
+        """Produce and return the next block plus round metrics.
+
+        The block is *not* appended; the caller decides (it may be racing
+        other proposers in a simulation).
+        """
+
+    @abc.abstractmethod
+    def validate(self, chain: Blockchain, block: Block) -> None:
+        """Raise :class:`~repro.errors.ConsensusError` on a bad seal."""
+
+    def message_complexity(self, n_nodes: int) -> int:
+        """Messages needed to disseminate one block to ``n_nodes``."""
+        return max(0, n_nodes - 1)
+
+    def expected_commit_latency(self, n_nodes: int, link_latency: int) -> int:
+        """Modeled ticks from proposal to network-wide commit."""
+        return link_latency  # one broadcast hop by default
+
+    def seal_and_append(
+        self,
+        chain: Blockchain,
+        transactions: Sequence[Transaction],
+        timestamp: int = 0,
+    ) -> RoundMetrics:
+        """Convenience for single-chain use: seal, validate, append."""
+        block, metrics = self.seal(chain, transactions, timestamp)
+        self.validate(chain, block)
+        chain.append_block(block)
+        return metrics

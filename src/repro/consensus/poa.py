@@ -1,0 +1,57 @@
+"""Proof of Authority.
+
+Permissioned round-robin sealing among a fixed authority set — the
+simplest consortium arrangement and the closest analogue to how the
+surveyed Hyperledger-based prototypes (Cui et al., LedgerView, HealthBlock)
+order transactions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..chain import Block, Blockchain, Transaction
+from ..errors import ConsensusError
+from .base import ConsensusEngine, RoundMetrics
+
+
+class ProofOfAuthority(ConsensusEngine):
+    """Round-robin among named authorities: authority ``h mod n`` seals
+    block ``h``."""
+
+    name = "poa"
+
+    def __init__(self, authorities: Sequence[str]) -> None:
+        if not authorities:
+            raise ValueError("need at least one authority")
+        if len(set(authorities)) != len(authorities):
+            raise ValueError("duplicate authority ids")
+        self.authorities = list(authorities)
+
+    def scheduled_authority(self, height: int) -> str:
+        return self.authorities[height % len(self.authorities)]
+
+    def seal(
+        self,
+        chain: Blockchain,
+        transactions: Sequence[Transaction],
+        timestamp: int = 0,
+    ) -> tuple[Block, RoundMetrics]:
+        height = chain.height + 1
+        proposer = self.scheduled_authority(height)
+        block = chain.build_block(
+            list(transactions),
+            timestamp=timestamp,
+            proposer=proposer,
+            consensus_meta={"algo": self.name,
+                            "authority_set_size": len(self.authorities)},
+        )
+        return block, RoundMetrics(engine=self.name, proposer=proposer, work=1)
+
+    def validate(self, chain: Blockchain, block: Block) -> None:
+        expected = self.scheduled_authority(block.height)
+        if block.header.proposer != expected:
+            raise ConsensusError(
+                f"height {block.height} is {expected}'s slot, "
+                f"not {block.header.proposer}'s"
+            )

@@ -1,0 +1,97 @@
+"""Proof of Stake.
+
+Stake-weighted proposer selection: the chance of sealing block ``h`` is
+proportional to a validator's stake, drawn deterministically from a seed
+that commits to the chain head (so every replica computes the same winner,
+and the winner cannot be predicted far ahead without the head hash).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..chain import Block, Blockchain, Transaction
+from ..crypto.hashing import hash_canonical
+from ..errors import ConsensusError
+from .base import ConsensusEngine, RoundMetrics
+
+
+@dataclass(frozen=True)
+class Validator:
+    """A staking participant."""
+
+    validator_id: str
+    stake: int
+
+    def __post_init__(self) -> None:
+        if self.stake <= 0:
+            raise ValueError("stake must be positive")
+
+
+class ProofOfStake(ConsensusEngine):
+    """Deterministic stake-weighted proposer lottery."""
+
+    name = "pos"
+
+    def __init__(self, validators: Sequence[Validator]) -> None:
+        if not validators:
+            raise ValueError("need at least one validator")
+        ids = [v.validator_id for v in validators]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate validator ids")
+        # Sorted for replica-independent determinism.
+        self.validators = sorted(validators, key=lambda v: v.validator_id)
+        self.total_stake = sum(v.stake for v in self.validators)
+
+    # ------------------------------------------------------------------
+    def select_proposer(self, chain: Blockchain, height: int) -> Validator:
+        """The validator entitled to seal ``height`` on this chain."""
+        seed = hash_canonical(
+            {
+                "prev": chain.head.block_hash,
+                "height": height,
+                "chain": chain.chain_id,
+            }
+        )
+        # Map the seed uniformly onto cumulative stake.
+        point = int.from_bytes(seed[:8], "big") % self.total_stake
+        cumulative = 0
+        for validator in self.validators:
+            cumulative += validator.stake
+            if point < cumulative:
+                return validator
+        raise ConsensusError("stake lottery fell off the end")  # pragma: no cover
+
+    def seal(
+        self,
+        chain: Blockchain,
+        transactions: Sequence[Transaction],
+        timestamp: int = 0,
+    ) -> tuple[Block, RoundMetrics]:
+        proposer = self.select_proposer(chain, chain.height + 1)
+        block = chain.build_block(
+            list(transactions),
+            timestamp=timestamp,
+            proposer=proposer.validator_id,
+            consensus_meta={
+                "algo": self.name,
+                "stake": proposer.stake,
+                "total_stake": self.total_stake,
+            },
+        )
+        metrics = RoundMetrics(
+            engine=self.name,
+            proposer=proposer.validator_id,
+            work=1,
+            extra={"stake": proposer.stake},
+        )
+        return block, metrics
+
+    def validate(self, chain: Blockchain, block: Block) -> None:
+        expected = self.select_proposer(chain, block.height)
+        if block.header.proposer != expected.validator_id:
+            raise ConsensusError(
+                f"block {block.height} proposed by {block.header.proposer}, "
+                f"but the stake lottery selected {expected.validator_id}"
+            )

@@ -1,0 +1,125 @@
+"""Proof of Work.
+
+The real thing at laptop scale: the sealer iterates nonces until the block
+header hash falls below a difficulty target.  Verification is a single
+hash — the asymmetry that makes PoW usable.  The ``estimated_hashes``
+model extrapolates the cost to difficulties we do not want to actually
+grind in a benchmark, preserving the cost *ordering* the paper discusses
+(BlockCloud adopts PoS precisely to avoid this work, §3).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..chain import Block, Blockchain, Transaction
+from ..errors import ConsensusError
+from .base import ConsensusEngine, RoundMetrics
+
+MAX_TARGET = 2**256
+
+
+class ProofOfWork(ConsensusEngine):
+    """Hash-below-target proof of work.
+
+    ``difficulty_bits`` is the number of leading zero bits required;
+    expected work is ``2**difficulty_bits`` hashes.  Keep it ≤ ~18 for
+    interactive runs.
+    """
+
+    name = "pow"
+
+    def __init__(self, difficulty_bits: int = 12, max_attempts: int = 2**26,
+                 miner_id: str = "miner-0") -> None:
+        if not 0 <= difficulty_bits <= 64:
+            raise ValueError("difficulty_bits out of sane range")
+        self.difficulty_bits = difficulty_bits
+        self.max_attempts = max_attempts
+        self.miner_id = miner_id
+
+    @property
+    def target(self) -> int:
+        return MAX_TARGET >> self.difficulty_bits
+
+    def estimated_hashes(self) -> int:
+        """Expected number of hash attempts per block."""
+        return 2**self.difficulty_bits
+
+    # ------------------------------------------------------------------
+    def seal(
+        self,
+        chain: Blockchain,
+        transactions: Sequence[Transaction],
+        timestamp: int = 0,
+    ) -> tuple[Block, RoundMetrics]:
+        attempts = 0
+        nonce = 0
+        meta = {"difficulty_bits": self.difficulty_bits, "algo": self.name}
+        while attempts < self.max_attempts:
+            block = chain.build_block(
+                list(transactions),
+                timestamp=timestamp,
+                proposer=self.miner_id,
+                consensus_meta=meta,
+                nonce=nonce,
+            )
+            attempts += 1
+            if int.from_bytes(block.block_hash, "big") < self.target:
+                metrics = RoundMetrics(
+                    engine=self.name,
+                    proposer=self.miner_id,
+                    work=attempts,
+                    extra={"nonce": nonce,
+                           "difficulty_bits": self.difficulty_bits},
+                )
+                return block, metrics
+            nonce += 1
+        raise ConsensusError(
+            f"PoW gave up after {attempts} attempts at "
+            f"{self.difficulty_bits} bits"
+        )
+
+    def validate(self, chain: Blockchain, block: Block) -> None:
+        bits = int(block.header.consensus_meta.get("difficulty_bits", -1))
+        if bits != self.difficulty_bits:
+            raise ConsensusError(
+                f"block declares {bits} difficulty bits, engine expects "
+                f"{self.difficulty_bits}"
+            )
+        if int.from_bytes(block.block_hash, "big") >= self.target:
+            raise ConsensusError(
+                f"block hash does not meet the {self.difficulty_bits}-bit target"
+            )
+
+    # ------------------------------------------------------------------
+    # Difficulty retargeting (paper §6.1 names "difficulty level" an
+    # evaluation axis for new-chain designs)
+    # ------------------------------------------------------------------
+    def retarget(self, chain, window: int = 8,
+                 target_spacing: int = 10) -> int:
+        """Adjust difficulty toward ``target_spacing`` ticks per block.
+
+        Looks at the timestamps of the last ``window`` blocks: blocks
+        arriving more than twice as fast as the target raise difficulty
+        by one bit; more than twice as slow lowers it by one bit.  The
+        one-bit step keeps adjustments stable (Bitcoin-style clamping).
+        Returns the (possibly unchanged) difficulty.
+        """
+        if len(chain.blocks) < window + 1:
+            return self.difficulty_bits
+        recent = chain.blocks[-(window + 1):]
+        elapsed = recent[-1].header.timestamp - recent[0].header.timestamp
+        average = elapsed / window
+        if average < target_spacing / 2 and self.difficulty_bits < 64:
+            self.difficulty_bits += 1
+        elif average > target_spacing * 2 and self.difficulty_bits > 0:
+            self.difficulty_bits -= 1
+        return self.difficulty_bits
+
+    # ------------------------------------------------------------------
+    def expected_commit_latency(self, n_nodes: int, link_latency: int) -> int:
+        # Mining time dominates; model it as proportional to expected
+        # hashes at a nominal hash rate of 1000 hashes/tick, plus one
+        # gossip hop.
+        mining_ticks = max(1, self.estimated_hashes() // 1000)
+        return mining_ticks + link_latency

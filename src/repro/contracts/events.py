@@ -1,0 +1,88 @@
+"""Chain-wide event log with filtering.
+
+Event listeners are the provenance-capture mechanism several surveyed
+systems use (BlockFlow's "integrated event listeners", PrivChain's
+automated incentive payout on proof events).  ``EventLog`` subscribes to a
+chain and indexes every event emitted by committed transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..chain.receipts import Event
+
+
+@dataclass(frozen=True)
+class LoggedEvent:
+    """An event plus its position in the chain."""
+
+    event: Event
+    block_height: int
+    tx_id: str
+
+
+class EventLog:
+    """Indexed, filterable log of all contract/chain events."""
+
+    def __init__(self, chain=None) -> None:
+        self._entries: list[LoggedEvent] = []
+        self._by_name: dict[str, list[int]] = {}
+        self._listeners: list[tuple[str | None, Callable[[LoggedEvent], None]]] = []
+        if chain is not None:
+            self.attach(chain)
+
+    def attach(self, chain) -> None:
+        """Start collecting events from ``chain`` commits."""
+        chain.subscribe(self._on_block)
+
+    def _on_block(self, block, receipts) -> None:
+        for receipt in receipts:
+            for event in receipt.events:
+                self.record(event, block.height, receipt.tx_id)
+
+    def record(self, event: Event, block_height: int, tx_id: str) -> None:
+        entry = LoggedEvent(event=event, block_height=block_height, tx_id=tx_id)
+        index = len(self._entries)
+        self._entries.append(entry)
+        self._by_name.setdefault(event.name, []).append(index)
+        for name_filter, callback in self._listeners:
+            if name_filter is None or name_filter == event.name:
+                callback(entry)
+
+    # ------------------------------------------------------------------
+    def on(self, name: str | None, callback: Callable[[LoggedEvent], None]) -> None:
+        """Register a live listener (``name=None`` matches everything)."""
+        self._listeners.append((name, callback))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def all(self) -> list[LoggedEvent]:
+        return list(self._entries)
+
+    def by_name(self, name: str) -> list[LoggedEvent]:
+        return [self._entries[i] for i in self._by_name.get(name, [])]
+
+    def filter(
+        self,
+        name: str | None = None,
+        source: str | None = None,
+        since_height: int | None = None,
+        where: Callable[[LoggedEvent], bool] | None = None,
+    ) -> Iterator[LoggedEvent]:
+        """Compound filter over the log."""
+        candidates: list[LoggedEvent]
+        if name is not None:
+            candidates = self.by_name(name)
+        else:
+            candidates = self._entries
+        for entry in candidates:
+            if source is not None and entry.event.source != source:
+                continue
+            if since_height is not None and entry.block_height < since_height:
+                continue
+            if where is not None and not where(entry):
+                continue
+            yield entry

@@ -1,0 +1,91 @@
+"""On-chain access-control contract.
+
+Grants are stored on-chain so that every permission change is itself part
+of the provenance trail — the property healthcare designs (HealthBlock,
+Niu et al.) and forensic designs (ForensiBlock) both insist on.  The
+contract implements simple subject→(resource, action) grants plus
+delegable admin roles; richer RBAC/ABAC policy evaluation lives off-chain
+in :mod:`repro.access` and can be *anchored* through this contract.
+"""
+
+from __future__ import annotations
+
+from ..contract import Contract, method, view
+
+
+class AccessControlContract(Contract):
+    """Grant, revoke, and check permissions; every change is an event."""
+
+    def setup(self, admin: str = "") -> None:
+        root = admin or self.caller
+        self.storage.set("admin:" + root, True)
+        self.emit("admin_added", subject=root)
+
+    def _is_admin(self, who: str) -> bool:
+        return bool(self.storage.get("admin:" + who, False))
+
+    @staticmethod
+    def _grant_key(subject: str, resource: str, action: str) -> str:
+        return f"grant:{subject}|{resource}|{action}"
+
+    # ------------------------------------------------------------------
+    @method
+    def add_admin(self, subject: str) -> None:
+        self.charge(1)
+        self.require(self._is_admin(self.caller), "admin only")
+        self.storage.set("admin:" + subject, True)
+        self.emit("admin_added", subject=subject)
+
+    @method
+    def grant(self, subject: str, resource: str, action: str,
+              expires_at: int = 0) -> None:
+        """Allow ``subject`` to perform ``action`` on ``resource``.
+
+        ``expires_at`` of 0 means no expiry; otherwise the grant is valid
+        only strictly before that (logical-clock) time.
+        """
+        self.charge(2)
+        self.require(self._is_admin(self.caller), "admin only")
+        self.storage.set(self._grant_key(subject, resource, action), {
+            "granted_by": self.caller,
+            "expires_at": int(expires_at),
+        })
+        self.emit("granted", subject=subject, resource=resource,
+                  action=action, expires_at=expires_at)
+
+    @method
+    def revoke(self, subject: str, resource: str, action: str) -> None:
+        self.charge(2)
+        self.require(self._is_admin(self.caller), "admin only")
+        key = self._grant_key(subject, resource, action)
+        self.require(self.storage.contains(key), "no such grant")
+        self.storage.delete(key)
+        self.emit("revoked", subject=subject, resource=resource, action=action)
+
+    # ------------------------------------------------------------------
+    @view
+    def check(self, subject: str, resource: str, action: str,
+              at_time: int = 0) -> bool:
+        """Is ``subject`` currently allowed ``action`` on ``resource``?"""
+        self.charge(1)
+        if self._is_admin(subject):
+            return True
+        grant = self.storage.get(self._grant_key(subject, resource, action))
+        if grant is None:
+            return False
+        expires = int(grant.get("expires_at", 0))
+        return expires == 0 or at_time < expires
+
+    @view
+    def grants_for(self, subject: str) -> list[dict]:
+        """All active grants for a subject (audit support)."""
+        self.charge(2)
+        prefix = f"grant:{subject}|"
+        result = []
+        for key, value in self.storage.items():
+            if key.startswith(prefix):
+                _, spec = key.split(":", 1)
+                _, resource, action = spec.split("|")
+                result.append({"resource": resource, "action": action,
+                               **dict(value)})
+        return result

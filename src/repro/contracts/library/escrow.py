@@ -1,0 +1,98 @@
+"""Incentive escrow contract (PrivChain's payout mechanism).
+
+PrivChain [52] pays supply-chain participants for supplying *valid*
+zero-knowledge proofs: "proof verification and incentive payments are
+automated through blockchain transactions, smart contracts, and events."
+This contract escrows a bounty per request; a designated verifier reports
+proof validity, and the contract releases (or returns) the funds and
+emits the events the capture layer records.
+
+Balances are kept in contract storage and settled against the chain's
+account balances by the caller (the system layer does this), keeping the
+contract runtime independent of the executor's balance namespace.
+"""
+
+from __future__ import annotations
+
+from ..contract import Contract, method, view
+
+
+class IncentiveEscrow(Contract):
+    """Escrow bounties that release on verified proof submission."""
+
+    def setup(self, verifier: str = "") -> None:
+        self.storage.set("config:verifier", verifier or self.caller)
+
+    # ------------------------------------------------------------------
+    @method
+    def open_bounty(self, bounty_id: str, amount: int, prover: str,
+                    statement: str = "") -> None:
+        """Escrow ``amount`` for ``prover`` until a proof is verified."""
+        self.charge(2)
+        self.require(amount > 0, "bounty must be positive")
+        self.require(not self.storage.contains(f"bounty:{bounty_id}"),
+                     f"bounty {bounty_id} exists")
+        self.storage.set(f"bounty:{bounty_id}", {
+            "funder": self.caller,
+            "prover": prover,
+            "amount": int(amount),
+            "statement": statement,
+            "status": "open",
+        })
+        self.emit("bounty_opened", bounty_id=bounty_id, amount=amount,
+                  prover=prover)
+
+    @method
+    def submit_result(self, bounty_id: str, proof_valid: bool,
+                      proof_ref: str = "") -> str:
+        """Verifier reports the proof outcome; settles the bounty.
+
+        Returns the final status: ``"paid"`` or ``"refunded"``.
+        """
+        self.charge(2)
+        self.require(self.caller == self.storage.get("config:verifier"),
+                     "only the verifier may settle")
+        bounty = self.storage.get(f"bounty:{bounty_id}")
+        self.require(bounty is not None, f"no bounty {bounty_id}")
+        self.require(bounty["status"] == "open", "bounty already settled")
+        bounty = dict(bounty)
+        if proof_valid:
+            bounty["status"] = "paid"
+            self._credit(bounty["prover"], bounty["amount"])
+            self.emit("bounty_paid", bounty_id=bounty_id,
+                      prover=bounty["prover"], amount=bounty["amount"],
+                      proof_ref=proof_ref)
+        else:
+            bounty["status"] = "refunded"
+            self._credit(bounty["funder"], bounty["amount"])
+            self.emit("bounty_refunded", bounty_id=bounty_id,
+                      funder=bounty["funder"], proof_ref=proof_ref)
+        self.storage.set(f"bounty:{bounty_id}", bounty)
+        return bounty["status"]
+
+    def _credit(self, account: str, amount: int) -> None:
+        balance = int(self.storage.get(f"payable:{account}", 0))
+        self.storage.set(f"payable:{account}", balance + amount)
+
+    @method
+    def withdraw(self) -> int:
+        """Claim accumulated payouts; returns the amount withdrawn."""
+        self.charge(1)
+        amount = int(self.storage.get(f"payable:{self.caller}", 0))
+        self.require(amount > 0, "nothing to withdraw")
+        self.storage.set(f"payable:{self.caller}", 0)
+        self.emit("withdrawn", account=self.caller, amount=amount)
+        return amount
+
+    # ------------------------------------------------------------------
+    @view
+    def payable_to(self, account: str) -> int:
+        self.charge(1)
+        return int(self.storage.get(f"payable:{account}", 0))
+
+    @view
+    def bounty_status(self, bounty_id: str) -> str:
+        self.charge(1)
+        bounty = self.storage.get(f"bounty:{bounty_id}")
+        self.require(bounty is not None, f"no bounty {bounty_id}")
+        return str(bounty["status"])

@@ -1,0 +1,98 @@
+"""On-chain provenance registry contract.
+
+The minimal on-chain footprint most surveyed designs converge on: a map
+from record id to ``(hash, owner, timestamp, prev)`` tuples, giving each
+registered artifact a tamper-evident, linkable history while the bulky
+record body stays off-chain.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..contract import Contract, method, view
+
+
+class ProvenanceRegistry(Contract):
+    """Register content hashes and link successive versions."""
+
+    def setup(self, owner_transfers_allowed: bool = True) -> None:
+        self.storage.set("config:transfers", bool(owner_transfers_allowed))
+        self.storage.set("meta:count", 0)
+
+    # ------------------------------------------------------------------
+    @method
+    def register(self, record_id: str, content_hash: str,
+                 prev_record_id: str = "", meta: dict | None = None) -> dict:
+        """Register a record hash; links to ``prev_record_id`` if given."""
+        self.charge(3)
+        self.require(bool(record_id), "record_id required")
+        self.require(not self.storage.contains(f"rec:{record_id}"),
+                     f"record {record_id} already registered")
+        if prev_record_id:
+            self.require(self.storage.contains(f"rec:{prev_record_id}"),
+                         f"unknown prev record {prev_record_id}")
+        entry = {
+            "record_id": record_id,
+            "content_hash": content_hash,
+            "owner": self.caller,
+            "prev": prev_record_id,
+            "meta": dict(meta or {}),
+        }
+        self.storage.set(f"rec:{record_id}", entry)
+        count = int(self.storage.get("meta:count", 0))
+        self.storage.set("meta:count", count + 1)
+        self.emit("registered", record_id=record_id,
+                  content_hash=content_hash, owner=self.caller)
+        return entry
+
+    @method
+    def transfer_ownership(self, record_id: str, new_owner: str) -> None:
+        """Hand a record's ownership to ``new_owner`` (if enabled)."""
+        self.charge(2)
+        self.require(bool(self.storage.get("config:transfers")),
+                     "ownership transfers disabled")
+        entry = self.storage.get(f"rec:{record_id}")
+        self.require(entry is not None, f"unknown record {record_id}")
+        self.require(entry["owner"] == self.caller,
+                     "only the owner may transfer")
+        entry = dict(entry)
+        entry["owner"] = new_owner
+        self.storage.set(f"rec:{record_id}", entry)
+        self.emit("ownership_transferred", record_id=record_id,
+                  new_owner=new_owner)
+
+    # ------------------------------------------------------------------
+    @view
+    def lookup(self, record_id: str) -> dict | None:
+        self.charge(1)
+        entry = self.storage.get(f"rec:{record_id}")
+        return dict(entry) if entry is not None else None
+
+    @view
+    def verify(self, record_id: str, content_hash: str) -> bool:
+        """Does the registered hash match ``content_hash``?"""
+        self.charge(1)
+        entry = self.storage.get(f"rec:{record_id}")
+        return entry is not None and entry["content_hash"] == content_hash
+
+    @view
+    def history(self, record_id: str, max_depth: int = 64) -> list[dict]:
+        """Follow ``prev`` links back from ``record_id`` (newest first)."""
+        self.charge(2)
+        chain: list[dict] = []
+        current: Any = record_id
+        for _ in range(max_depth):
+            if not current:
+                break
+            entry = self.storage.get(f"rec:{current}")
+            if entry is None:
+                break
+            chain.append(dict(entry))
+            current = entry.get("prev", "")
+        return chain
+
+    @view
+    def count(self) -> int:
+        self.charge(1)
+        return int(self.storage.get("meta:count", 0))

@@ -1,0 +1,77 @@
+"""A minimal fungible token contract.
+
+Used by the cross-chain mechanisms (sidechain pegs lock tokens on the main
+chain and mint them on the side chain; HTLC legs move them between
+parties) and by FL incentive schemes.  The interface is the familiar
+mint/transfer/burn/balance quartet.
+"""
+
+from __future__ import annotations
+
+from ..contract import Contract, method, view
+
+
+class SimpleToken(Contract):
+    """Fungible token with a single minter."""
+
+    def setup(self, name: str = "TOKEN", minter: str = "",
+              initial_supply: int = 0) -> None:
+        self.storage.set("config:name", name)
+        self.storage.set("config:minter", minter or self.caller)
+        if initial_supply:
+            self.storage.set("bal:" + (minter or self.caller),
+                             int(initial_supply))
+        self.storage.set("meta:supply", int(initial_supply))
+
+    def _balance(self, account: str) -> int:
+        return int(self.storage.get("bal:" + account, 0))
+
+    # ------------------------------------------------------------------
+    @method
+    def mint(self, to: str, amount: int) -> None:
+        self.charge(1)
+        self.require(self.caller == self.storage.get("config:minter"),
+                     "only the minter may mint")
+        self.require(amount > 0, "amount must be positive")
+        self.storage.set("bal:" + to, self._balance(to) + int(amount))
+        self.storage.set("meta:supply",
+                         int(self.storage.get("meta:supply", 0)) + int(amount))
+        self.emit("minted", to=to, amount=amount)
+
+    @method
+    def burn(self, amount: int) -> None:
+        self.charge(1)
+        self.require(amount > 0, "amount must be positive")
+        balance = self._balance(self.caller)
+        self.require(balance >= amount, "insufficient balance to burn")
+        self.storage.set("bal:" + self.caller, balance - int(amount))
+        self.storage.set("meta:supply",
+                         int(self.storage.get("meta:supply", 0)) - int(amount))
+        self.emit("burned", account=self.caller, amount=amount)
+
+    @method
+    def transfer(self, to: str, amount: int) -> None:
+        self.charge(1)
+        self.require(amount > 0, "amount must be positive")
+        balance = self._balance(self.caller)
+        self.require(balance >= amount,
+                     f"insufficient balance: {balance} < {amount}")
+        self.storage.set("bal:" + self.caller, balance - int(amount))
+        self.storage.set("bal:" + to, self._balance(to) + int(amount))
+        self.emit("transferred", src=self.caller, dst=to, amount=amount)
+
+    # ------------------------------------------------------------------
+    @view
+    def balance_of(self, account: str) -> int:
+        self.charge(1)
+        return self._balance(account)
+
+    @view
+    def total_supply(self) -> int:
+        self.charge(1)
+        return int(self.storage.get("meta:supply", 0))
+
+    @view
+    def token_name(self) -> str:
+        self.charge(1)
+        return str(self.storage.get("config:name", ""))

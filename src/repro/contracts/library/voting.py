@@ -1,0 +1,103 @@
+"""Threshold-voting contract.
+
+SmartProvenance [63] authenticates provenance records through a
+"threshold-based voting system": a record becomes *accepted* once enough
+distinct voters endorse it.  The same primitive drives BlockDFL's gradient
+acceptance and the ForensiCross bridge's unanimous progression rule, so it
+is factored into a reusable contract parameterized by threshold.
+"""
+
+from __future__ import annotations
+
+from ..contract import Contract, method, view
+
+
+class ThresholdVoting(Contract):
+    """Propose items; accept them at ``threshold`` distinct approvals.
+
+    ``threshold`` may be an absolute count or, with ``unanimous=True``,
+    the full voter roll (recomputed as voters are added).
+    """
+
+    def setup(self, voters: list | None = None, threshold: int = 1,
+              unanimous: bool = False) -> None:
+        roll = sorted(set(voters or []))
+        self.require(threshold >= 1, "threshold must be >= 1")
+        self.require(not (not roll and unanimous),
+                     "unanimous voting needs an explicit voter roll")
+        self.storage.set("config:roll", roll)
+        self.storage.set("config:threshold", int(threshold))
+        self.storage.set("config:unanimous", bool(unanimous))
+
+    def _effective_threshold(self) -> int:
+        if bool(self.storage.get("config:unanimous")):
+            return len(self.storage.get("config:roll", []))
+        return int(self.storage.get("config:threshold", 1))
+
+    def _is_voter(self, who: str) -> bool:
+        roll = self.storage.get("config:roll", [])
+        return not roll or who in roll
+
+    # ------------------------------------------------------------------
+    @method
+    def propose(self, item_id: str, payload_hash: str = "") -> None:
+        """Open a ballot for ``item_id``."""
+        self.charge(2)
+        self.require(not self.storage.contains(f"ballot:{item_id}"),
+                     f"ballot {item_id} already exists")
+        self.storage.set(f"ballot:{item_id}", {
+            "item_id": item_id,
+            "payload_hash": payload_hash,
+            "proposer": self.caller,
+            "approvals": [],
+            "rejections": [],
+            "status": "open",
+        })
+        self.emit("ballot_opened", item_id=item_id, proposer=self.caller)
+
+    @method
+    def vote(self, item_id: str, approve: bool = True) -> str:
+        """Cast a vote; returns the ballot status afterwards."""
+        self.charge(2)
+        ballot = self.storage.get(f"ballot:{item_id}")
+        self.require(ballot is not None, f"no ballot {item_id}")
+        self.require(ballot["status"] == "open", "ballot is closed")
+        self.require(self._is_voter(self.caller),
+                     f"{self.caller} is not on the voter roll")
+        ballot = dict(ballot)
+        already = set(ballot["approvals"]) | set(ballot["rejections"])
+        self.require(self.caller not in already,
+                     f"{self.caller} already voted on {item_id}")
+        key = "approvals" if approve else "rejections"
+        ballot[key] = list(ballot[key]) + [self.caller]
+        threshold = self._effective_threshold()
+        if len(ballot["approvals"]) >= threshold:
+            ballot["status"] = "accepted"
+            self.emit("accepted", item_id=item_id,
+                      approvals=len(ballot["approvals"]))
+        elif bool(self.storage.get("config:unanimous")) and ballot["rejections"]:
+            # One rejection sinks a unanimous ballot immediately.
+            ballot["status"] = "rejected"
+            self.emit("rejected", item_id=item_id)
+        self.storage.set(f"ballot:{item_id}", ballot)
+        return ballot["status"]
+
+    # ------------------------------------------------------------------
+    @view
+    def status(self, item_id: str) -> str:
+        self.charge(1)
+        ballot = self.storage.get(f"ballot:{item_id}")
+        self.require(ballot is not None, f"no ballot {item_id}")
+        return str(ballot["status"])
+
+    @view
+    def tally(self, item_id: str) -> dict:
+        self.charge(1)
+        ballot = self.storage.get(f"ballot:{item_id}")
+        self.require(ballot is not None, f"no ballot {item_id}")
+        return {
+            "approvals": len(ballot["approvals"]),
+            "rejections": len(ballot["rejections"]),
+            "threshold": self._effective_threshold(),
+            "status": ballot["status"],
+        }

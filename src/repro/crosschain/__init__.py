@@ -1,0 +1,40 @@
+"""Cross-chain mechanisms (paper §2.3 and RQ3).
+
+The five mechanism families the paper catalogs, each exercising the same
+substrate chains:
+
+* :mod:`~repro.crosschain.htlc` — hash time-locked contracts;
+* :mod:`~repro.crosschain.atomic_swap` — Herlihy-style atomic swaps built
+  from HTLCs (two-party and cyclic multi-party);
+* :mod:`~repro.crosschain.notary` — single and committee notary schemes;
+* :mod:`~repro.crosschain.relay` — a relay chain carrying block headers
+  so targets can verify source-chain inclusion proofs;
+* :mod:`~repro.crosschain.sidechain` — a two-way-pegged side chain with
+  periodic state commitments to the main chain;
+* :mod:`~repro.crosschain.bridge` — a ForensiCross-style bridge chain
+  with unanimous validator voting.
+"""
+
+from .messages import CrossChainMessage, TransferOutcome
+from .htlc import HTLC, HTLCManager
+from .atomic_swap import AtomicSwap, SwapLeg, SwapParty
+from .notary import NotaryScheme, NotaryAttestation
+from .relay import RelayChain
+from .sidechain import PeggedSidechain
+from .bridge import BridgeChain, BridgeValidator
+
+__all__ = [
+    "CrossChainMessage",
+    "TransferOutcome",
+    "HTLC",
+    "HTLCManager",
+    "AtomicSwap",
+    "SwapLeg",
+    "SwapParty",
+    "NotaryScheme",
+    "NotaryAttestation",
+    "RelayChain",
+    "PeggedSidechain",
+    "BridgeChain",
+    "BridgeValidator",
+]

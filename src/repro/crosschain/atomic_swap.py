@@ -1,0 +1,222 @@
+"""Atomic cross-chain swaps (Herlihy [35]).
+
+Built on HTLCs: "atomic cross-chain swaps facilitate asset trading
+between separate blockchains and ensure that all linked transactions are
+either fully completed or entirely aborted" (§2.3).
+
+Two-party protocol (Alice has X on chain A, Bob has Y on chain B):
+
+1. Alice (the *leader*) picks secret ``s``, computes ``H(s)``, locks X on
+   A for Bob with timelock ``2Δ``.
+2. Bob sees the lock, locks Y on B for Alice under the *same* hashlock
+   with timelock ``Δ`` (shorter — the classic ordering, so Bob can always
+   refund before Alice's lock expires).
+3. Alice claims Y on B, revealing ``s`` on-chain.
+4. Bob reads ``s`` from chain B and claims X on A.
+
+If anyone stops cooperating, timelocks expire and both sides refund —
+the all-or-nothing property the property-based tests verify.  The cyclic
+multi-party generalization chains the same hashlock through every leg
+with decreasing timelocks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..clock import SimClock
+from ..errors import CrossChainError, SwapAborted
+from .htlc import HTLCManager, make_hashlock
+from .messages import TransferOutcome
+
+
+@dataclass
+class SwapParty:
+    """A participant and what they offer."""
+
+    name: str
+    gives_amount: int
+    on_manager: HTLCManager     # the chain where they lock their asset
+
+
+@dataclass
+class SwapLeg:
+    """One HTLC leg of the swap (filled in as the protocol runs)."""
+
+    sender: str
+    recipient: str
+    manager: HTLCManager
+    amount: int
+    timelock: int
+    htlc_id: str = ""
+    status: str = "pending"      # pending | locked | claimed | refunded
+
+
+@dataclass
+class AtomicSwap:
+    """Coordinator for a cyclic atomic swap.
+
+    ``parties[i]`` gives to ``parties[i+1 mod n]`` on ``parties[i]``'s
+    chain.  The first party is the leader holding the secret.
+
+    ``step_delta`` is the timelock spacing Δ between consecutive legs.
+    """
+
+    parties: list[SwapParty]
+    clock: SimClock
+    step_delta: int = 100
+    secret_seed: bytes = b"swap-secret"
+    legs: list[SwapLeg] = field(default_factory=list)
+    messages: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.parties) < 2:
+            raise CrossChainError("a swap needs at least two parties")
+        self._secret = hashlib.sha256(
+            b"swap:" + self.secret_seed
+        ).digest()
+        self.hashlock = make_hashlock(self._secret)
+
+    # ------------------------------------------------------------------
+    # Phase 1: locking (leader first, longest timelock)
+    # ------------------------------------------------------------------
+    def lock_all(self) -> None:
+        """Create every leg's HTLC with the decreasing-timelock ladder."""
+        n = len(self.parties)
+        now = self.clock.now()
+        for i, party in enumerate(self.parties):
+            recipient = self.parties[(i + 1) % n].name
+            # Leader (i=0) gets the longest timelock: (n - i) * Δ.
+            timelock = now + (n - i) * self.step_delta
+            leg = SwapLeg(
+                sender=party.name,
+                recipient=recipient,
+                manager=party.on_manager,
+                amount=party.gives_amount,
+                timelock=timelock,
+            )
+            lock = party.on_manager.lock(
+                sender=party.name,
+                recipient=recipient,
+                amount=party.gives_amount,
+                hashlock=self.hashlock,
+                timelock=timelock,
+            )
+            leg.htlc_id = lock.htlc_id
+            leg.status = "locked"
+            self.legs.append(leg)
+            self.messages += 2      # lock announcement + counterparty watch
+
+    def lock_partial(self, count: int) -> None:
+        """Lock only the first ``count`` legs (failure injection)."""
+        if self.legs:
+            raise CrossChainError("legs already created")
+        n = len(self.parties)
+        now = self.clock.now()
+        for i, party in enumerate(self.parties[:count]):
+            recipient = self.parties[(i + 1) % n].name
+            timelock = now + (n - i) * self.step_delta
+            lock = party.on_manager.lock(
+                sender=party.name,
+                recipient=recipient,
+                amount=party.gives_amount,
+                hashlock=self.hashlock,
+                timelock=timelock,
+            )
+            self.legs.append(SwapLeg(
+                sender=party.name,
+                recipient=recipient,
+                manager=party.on_manager,
+                amount=party.gives_amount,
+                timelock=timelock,
+                htlc_id=lock.htlc_id,
+                status="locked",
+            ))
+            self.messages += 2
+
+    # ------------------------------------------------------------------
+    # Phase 2: claims propagate backwards from the last leg
+    # ------------------------------------------------------------------
+    def claim_all(self) -> None:
+        """Run the claim cascade: the leader claims the last leg revealing
+        the secret; every other participant claims using the now-public
+        preimage."""
+        if len(self.legs) != len(self.parties):
+            raise SwapAborted("cannot claim: not all legs were locked")
+        # The leader claims on the last leg (the one paying them).
+        for leg in reversed(self.legs):
+            if leg.status != "locked":
+                raise SwapAborted(f"leg {leg.htlc_id} not locked")
+            # Recipient reads the secret from any chain where it is
+            # already revealed; the leader knows it outright.
+            secret = self._secret if leg is self.legs[-1] else (
+                self._published_secret()
+            )
+            if secret is None:  # pragma: no cover - cascade guarantees it
+                raise SwapAborted("secret not available for claim")
+            leg.manager.claim(leg.htlc_id, secret)
+            leg.status = "claimed"
+            self.messages += 1
+
+    def _published_secret(self) -> bytes | None:
+        for leg in self.legs:
+            secret = leg.manager.secret_revealed_by(self.hashlock)
+            if secret is not None:
+                return secret
+        return None
+
+    # ------------------------------------------------------------------
+    # Phase 3 (unhappy path): refunds after expiry
+    # ------------------------------------------------------------------
+    def refund_all_expired(self) -> int:
+        """Refund every still-locked leg whose timelock has passed."""
+        refunded = 0
+        for leg in self.legs:
+            if leg.status != "locked":
+                continue
+            if self.clock.now() >= leg.timelock:
+                leg.manager.refund(leg.htlc_id)
+                leg.status = "refunded"
+                refunded += 1
+                self.messages += 1
+        return refunded
+
+    # ------------------------------------------------------------------
+    # One-shot drivers
+    # ------------------------------------------------------------------
+    def execute(self) -> TransferOutcome:
+        """Happy path: lock everything, run the claim cascade."""
+        t0 = self.clock.now()
+        self.lock_all()
+        self.clock.advance(1)
+        self.claim_all()
+        return TransferOutcome(
+            mechanism="atomic_swap",
+            status="completed",
+            messages=self.messages,
+            on_chain_txs=sum(1 for leg in self.legs) * 2,  # lock + claim
+            latency_ticks=self.clock.now() - t0,
+            extra={"parties": len(self.parties)},
+        )
+
+    def execute_with_abort(self, locked_legs: int) -> TransferOutcome:
+        """Unhappy path: only ``locked_legs`` parties lock, then everyone
+        times out and refunds.  Asserts all-or-nothing: no leg stays
+        claimed."""
+        t0 = self.clock.now()
+        self.lock_partial(locked_legs)
+        # Advance past every timelock.
+        horizon = max((leg.timelock for leg in self.legs), default=0)
+        self.clock.advance_to(horizon + 1)
+        refunded = self.refund_all_expired()
+        if any(leg.status == "claimed" for leg in self.legs):
+            raise SwapAborted("claim observed on an aborted swap")
+        return TransferOutcome(
+            mechanism="atomic_swap",
+            status="refunded",
+            messages=self.messages,
+            on_chain_txs=locked_legs + refunded,
+            latency_ticks=self.clock.now() - t0,
+            extra={"refunded_legs": refunded},
+        )

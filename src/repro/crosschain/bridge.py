@@ -1,0 +1,226 @@
+"""BridgeChain: a dedicated bridging chain with unanimous validation.
+
+ForensiCross [11] "uses BridgeChain to facilitate interactions between
+private blockchains via a novel communication protocol ... Nodes validate
+transactions across blockchains, requiring unanimous agreement for
+progression."  The bridge here is exactly that: a chain whose validators
+all must endorse a cross-chain message before it is committed and
+forwarded.  Unanimity is the conservative end of the trust spectrum the
+EVAL-XCHAIN bench sweeps (1-of-1 notary ... m-of-n committee ...
+n-of-n bridge).
+
+Messages carry arbitrary payloads; ForensiCross uses them for evidence
+transfer, provenance extraction requests, and investigation-stage
+synchronization (see :mod:`repro.systems.forensicross`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chain import Blockchain, ChainParams, Transaction, TxKind
+from ..clock import SimClock
+from ..crypto.signatures import KeyPair, verify
+from ..errors import BridgeError
+from .messages import CrossChainMessage, TransferOutcome
+
+
+@dataclass
+class BridgeValidator:
+    """A bridge node with an endorsement policy.
+
+    ``honest`` controls failure injection: a dishonest/offline validator
+    never endorses, which under unanimity blocks progression (the
+    designed behaviour — forensic evidence must not move without every
+    custodian's sign-off).
+    """
+
+    validator_id: str
+    keypair: KeyPair
+    honest: bool = True
+
+    def endorse(self, message: CrossChainMessage) -> bytes | None:
+        if not self.honest:
+            return None
+        return self.keypair.sign(message.digest())
+
+
+@dataclass
+class _PendingMessage:
+    message: CrossChainMessage
+    endorsements: dict[str, bytes] = field(default_factory=dict)
+    status: str = "pending"     # pending | committed | rejected
+
+
+class BridgeChain:
+    """A validator-governed chain ferrying messages between member chains."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        validator_ids: list[str],
+        chain_id: str = "bridge",
+        unanimous: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if not validator_ids:
+            raise BridgeError("bridge needs validators")
+        self.clock = clock
+        self.chain = Blockchain(ChainParams(chain_id=chain_id))
+        self.unanimous = unanimous
+        self.validators = [
+            BridgeValidator(validator_id=vid,
+                            keypair=KeyPair.generate(("bridge", seed, vid)))
+            for vid in validator_ids
+        ]
+        self._members: dict[str, Blockchain] = {}
+        self._pending: dict[str, _PendingMessage] = {}
+        self._counter = 0
+        self.messages_committed = 0
+        self.network_messages = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def required_endorsements(self) -> int:
+        n = len(self.validators)
+        return n if self.unanimous else (2 * n) // 3 + 1
+
+    def connect(self, chain: Blockchain) -> None:
+        """Register a member chain with the bridge."""
+        if chain.chain_id in self._members:
+            raise BridgeError(f"{chain.chain_id} already connected")
+        self._members[chain.chain_id] = chain
+
+    def member(self, chain_id: str) -> Blockchain:
+        chain = self._members.get(chain_id)
+        if chain is None:
+            raise BridgeError(f"chain {chain_id!r} not connected")
+        return chain
+
+    def set_validator_honesty(self, validator_id: str, honest: bool) -> None:
+        for validator in self.validators:
+            if validator.validator_id == validator_id:
+                validator.honest = honest
+                return
+        raise BridgeError(f"unknown validator {validator_id!r}")
+
+    # ------------------------------------------------------------------
+    # Message lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, source_chain: str, target_chain: str, kind: str,
+               payload: dict) -> str:
+        """A member chain submits a message; returns its id."""
+        self.member(source_chain)
+        self.member(target_chain)
+        message = CrossChainMessage(
+            message_id=f"bmsg-{self._counter:06d}",
+            source_chain=source_chain,
+            target_chain=target_chain,
+            kind=kind,
+            payload=payload,
+            timestamp=self.clock.now(),
+        )
+        self._counter += 1
+        self._pending[message.message_id] = _PendingMessage(message=message)
+        self.network_messages += 1
+        return message.message_id
+
+    def process(self, message_id: str) -> TransferOutcome:
+        """Collect endorsements and, on success, commit + deliver."""
+        t0 = self.clock.now()
+        pending = self._pending.get(message_id)
+        if pending is None:
+            raise BridgeError(f"no pending message {message_id!r}")
+        if pending.status != "pending":
+            raise BridgeError(f"message {message_id!r} already processed")
+        digest = pending.message.digest()
+        for validator in self.validators:
+            self.network_messages += 1       # broadcast to validator
+            signature = validator.endorse(pending.message)
+            if signature is None:
+                continue
+            if not verify(digest, signature, validator.keypair.public):
+                raise BridgeError(
+                    f"validator {validator.validator_id} produced an "
+                    "invalid endorsement"
+                )
+            pending.endorsements[validator.validator_id] = signature
+            self.network_messages += 1       # endorsement returned
+        self.clock.advance(len(self.validators))
+        if len(pending.endorsements) < self.required_endorsements:
+            pending.status = "rejected"
+            return TransferOutcome(
+                mechanism="bridge",
+                status="aborted",
+                messages=self.network_messages,
+                on_chain_txs=0,
+                latency_ticks=self.clock.now() - t0,
+                extra={"endorsements": len(pending.endorsements),
+                       "required": self.required_endorsements},
+            )
+        # Commit on the bridge chain.
+        commit_tx = Transaction(
+            sender="bridge-validators",
+            kind=TxKind.CROSS_CHAIN,
+            payload={
+                "message_id": message_id,
+                "kind": pending.message.kind,
+                "source_chain": pending.message.source_chain,
+                "target_chain": pending.message.target_chain,
+                "digest": digest,
+                "endorsers": sorted(pending.endorsements),
+                "body": dict(pending.message.payload),
+            },
+            timestamp=self.clock.now(),
+        )
+        self.chain.append_block(self.chain.build_block(
+            [commit_tx], timestamp=self.clock.now()
+        ))
+        # Deliver to the target member chain.
+        target = self.member(pending.message.target_chain)
+        deliver_tx = Transaction(
+            sender="bridge",
+            kind=TxKind.CROSS_CHAIN,
+            payload={
+                "message_id": message_id,
+                "kind": pending.message.kind,
+                "source_chain": pending.message.source_chain,
+                "bridge_height": self.chain.height,
+                "body": dict(pending.message.payload),
+            },
+            timestamp=self.clock.now(),
+        )
+        target.append_block(target.build_block(
+            [deliver_tx], timestamp=self.clock.now()
+        ))
+        pending.status = "committed"
+        self.messages_committed += 1
+        return TransferOutcome(
+            mechanism="bridge",
+            status="completed",
+            messages=self.network_messages,
+            on_chain_txs=2,
+            latency_ticks=self.clock.now() - t0,
+            extra={"endorsements": len(pending.endorsements)},
+        )
+
+    def send(self, source_chain: str, target_chain: str, kind: str,
+             payload: dict) -> TransferOutcome:
+        """Submit + process in one step."""
+        message_id = self.submit(source_chain, target_chain, kind, payload)
+        return self.process(message_id)
+
+    # ------------------------------------------------------------------
+    def delivered_messages(self, chain_id: str,
+                           kind: str | None = None) -> list[dict]:
+        """Messages the bridge has delivered onto a member chain."""
+        chain = self.member(chain_id)
+        delivered = []
+        for block in chain.blocks:
+            for tx in block.transactions:
+                if tx.sender != "bridge":
+                    continue
+                if kind is not None and tx.payload.get("kind") != kind:
+                    continue
+                delivered.append(dict(tx.payload))
+        return delivered

@@ -1,0 +1,155 @@
+"""Hash time-locked contracts.
+
+The primitive under atomic swaps: funds are locked against a *hashlock*
+(the hash of a secret) and a *timelock*.  Whoever presents the preimage
+before the timelock expires claims the funds; after expiry the original
+sender can refund.  "Hash-locking contracts streamline asset exchanges"
+(§2.3); the atomicity argument lives one level up in
+:mod:`~repro.crosschain.atomic_swap`.
+
+Each HTLC action (lock/claim/refund) is committed to the host chain as a
+transaction, so cross-chain audits can verify the full story from the two
+chains alone.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..chain import Blockchain, Transaction, TxKind
+from ..clock import SimClock
+from ..errors import CrossChainError, TimelockExpired
+
+
+def make_hashlock(secret: bytes) -> bytes:
+    """The hashlock for ``secret``."""
+    return hashlib.sha256(b"htlc:" + secret).digest()
+
+
+@dataclass
+class HTLC:
+    """One lock's state on one chain."""
+
+    htlc_id: str
+    chain_id: str
+    sender: str
+    recipient: str
+    amount: int
+    hashlock: bytes
+    timelock: int            # absolute expiry on the shared clock
+    status: str = "locked"   # locked | claimed | refunded
+    revealed_secret: bytes | None = None
+
+
+class HTLCManager:
+    """Manages HTLCs on one chain, with on-chain audit transactions."""
+
+    ESCROW = "htlc-escrow"
+
+    def __init__(self, chain: Blockchain, clock: SimClock) -> None:
+        self.chain = chain
+        self.clock = clock
+        self._locks: dict[str, HTLC] = {}
+        self._counter = 0
+        self.txs_committed = 0
+
+    # ------------------------------------------------------------------
+    def _commit(self, action: str, lock: HTLC, **extra) -> None:
+        """Record an HTLC action on the host chain."""
+        tx = Transaction(
+            sender=lock.sender if action == "lock" else lock.recipient,
+            kind=TxKind.CROSS_CHAIN,
+            payload={
+                "message_id": f"{lock.htlc_id}:{action}",
+                "action": f"htlc_{action}",
+                "htlc_id": lock.htlc_id,
+                "hashlock": lock.hashlock,
+                "amount": lock.amount,
+                "timelock": lock.timelock,
+                **extra,
+            },
+            timestamp=self.clock.now(),
+        )
+        self.chain.append_block(self.chain.build_block(
+            [tx], timestamp=self.clock.now()
+        ))
+        self.txs_committed += 1
+
+    # ------------------------------------------------------------------
+    def lock(self, sender: str, recipient: str, amount: int,
+             hashlock: bytes, timelock: int) -> HTLC:
+        """Escrow ``amount`` from ``sender`` under a hashlock."""
+        if amount <= 0:
+            raise CrossChainError("lock amount must be positive")
+        if timelock <= self.clock.now():
+            raise CrossChainError("timelock must be in the future")
+        self.chain.state.transfer(sender, self.ESCROW, amount)
+        htlc_id = f"htlc-{self.chain.chain_id}-{self._counter:06d}"
+        self._counter += 1
+        lock = HTLC(
+            htlc_id=htlc_id,
+            chain_id=self.chain.chain_id,
+            sender=sender,
+            recipient=recipient,
+            amount=amount,
+            hashlock=hashlock,
+            timelock=timelock,
+        )
+        self._locks[htlc_id] = lock
+        self._commit("lock", lock, recipient=recipient)
+        return lock
+
+    def claim(self, htlc_id: str, secret: bytes) -> HTLC:
+        """Recipient claims with the preimage (before expiry)."""
+        lock = self._require(htlc_id)
+        if lock.status != "locked":
+            raise CrossChainError(f"{htlc_id} is {lock.status}, not locked")
+        if self.clock.now() >= lock.timelock:
+            raise TimelockExpired(
+                f"{htlc_id} expired at t={lock.timelock} "
+                f"(now t={self.clock.now()})"
+            )
+        if make_hashlock(secret) != lock.hashlock:
+            raise CrossChainError(f"wrong preimage for {htlc_id}")
+        self.chain.state.transfer(self.ESCROW, lock.recipient, lock.amount)
+        lock.status = "claimed"
+        lock.revealed_secret = secret
+        self._commit("claim", lock, secret=secret)
+        return lock
+
+    def refund(self, htlc_id: str) -> HTLC:
+        """Sender reclaims after expiry."""
+        lock = self._require(htlc_id)
+        if lock.status != "locked":
+            raise CrossChainError(f"{htlc_id} is {lock.status}, not locked")
+        if self.clock.now() < lock.timelock:
+            raise CrossChainError(
+                f"{htlc_id} not yet expired (t={self.clock.now()} < "
+                f"{lock.timelock}); refund refused"
+            )
+        self.chain.state.transfer(self.ESCROW, lock.sender, lock.amount)
+        lock.status = "refunded"
+        self._commit("refund", lock)
+        return lock
+
+    # ------------------------------------------------------------------
+    def _require(self, htlc_id: str) -> HTLC:
+        lock = self._locks.get(htlc_id)
+        if lock is None:
+            raise CrossChainError(f"no HTLC {htlc_id!r}")
+        return lock
+
+    def get(self, htlc_id: str) -> HTLC:
+        return self._require(htlc_id)
+
+    def secret_revealed_by(self, hashlock: bytes) -> bytes | None:
+        """Scan for a revealed preimage matching ``hashlock``.
+
+        This is how the counterparty in a swap learns the secret: it was
+        published on-chain by the claim transaction.
+        """
+        for lock in self._locks.values():
+            if lock.hashlock == hashlock and lock.revealed_secret is not None:
+                return lock.revealed_secret
+        return None

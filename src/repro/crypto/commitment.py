@@ -1,0 +1,61 @@
+"""Salted hash commitments.
+
+The simplest commitment scheme: ``C = H(salt || value)``.  Hiding comes
+from the salt, binding from collision resistance of SHA-256.  Used by the
+HTLC hashlock, sealed-bid style flows, and as the fallback commitment for
+privacy-sensitive provenance fields.  (Pedersen-style *homomorphic*
+commitments, needed by the range proofs, live in ``repro.privacy``.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import InvalidProof
+from ..serialization import canonical_encode
+from .hashing import DOMAIN_COMMIT, hash_bytes
+
+
+@dataclass(frozen=True)
+class HashCommitment:
+    """A published commitment; reveals nothing about the value."""
+
+    digest: bytes
+
+    def to_canonical(self) -> dict:
+        return {"commit": self.digest}
+
+    @property
+    def hex(self) -> str:
+        return self.digest.hex()
+
+
+def _derive_salt(seed: Any) -> bytes:
+    """Deterministic salt derivation so simulations are replayable."""
+    return hashlib.sha256(b"commit-salt:" + canonical_encode(seed)).digest()
+
+
+def commit(value: Any, salt: bytes | None = None, *, seed: Any = None) -> tuple[HashCommitment, bytes]:
+    """Commit to ``value``; returns ``(commitment, salt)``.
+
+    Provide either an explicit ``salt`` or a ``seed`` from which one is
+    derived deterministically; with neither, a zero salt is used (binding
+    but not hiding — fine for public values).
+    """
+    if salt is None:
+        salt = _derive_salt(seed) if seed is not None else b"\x00" * 32
+    digest = hash_bytes(salt + canonical_encode(value), DOMAIN_COMMIT)
+    return HashCommitment(digest), salt
+
+
+def open_commitment(commitment: HashCommitment, value: Any, salt: bytes) -> bool:
+    """Check that ``(value, salt)`` opens ``commitment``."""
+    digest = hash_bytes(salt + canonical_encode(value), DOMAIN_COMMIT)
+    return digest == commitment.digest
+
+
+def open_or_raise(commitment: HashCommitment, value: Any, salt: bytes) -> None:
+    if not open_commitment(commitment, value, salt):
+        raise InvalidProof("commitment opening failed")

@@ -1,0 +1,123 @@
+"""Digital signatures (API-faithful simulation).
+
+The library needs signatures for transactions, provenance records, notary
+attestations, and bridge votes.  Real asymmetric cryptography is outside
+this reproduction's scope (DESIGN.md §2), so we simulate:
+
+* a :class:`PrivateKey` is 32 random-looking bytes derived from a seed;
+* the matching :class:`PublicKey` is a hash of the private key;
+* ``sign(message, sk)`` is ``HMAC-like: H(sk || H(message))``;
+* ``verify`` recomputes the tag — which requires the private key, so the
+  *simulation* verifier keeps a registry mapping public→private keys.
+
+The crucial property preserved is the one every caller relies on: a
+signature verifies **iff** it was produced over exactly that message by the
+holder of the key matching the public key, and signatures are
+deterministic.  What is *not* preserved is public verifiability without the
+registry — acceptable because the whole system runs in one process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import CryptoError, InvalidSignature
+from ..serialization import canonical_encode
+from .hashing import DOMAIN_KEY, DOMAIN_SIG, hash_bytes
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A verification key.  Hex form is used as an address."""
+
+    key_bytes: bytes
+
+    @property
+    def address(self) -> str:
+        """Short printable address derived from the key."""
+        return self.key_bytes.hex()[:40]
+
+    def to_canonical(self) -> dict:
+        return {"pub": self.key_bytes}
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """A signing key.  Never serialize this into records."""
+
+    key_bytes: bytes
+
+    def public_key(self) -> PublicKey:
+        return PublicKey(hash_bytes(self.key_bytes, DOMAIN_KEY))
+
+
+# Registry mapping public key bytes -> private key bytes.  In-process
+# simulation of public verifiability; see module docstring.
+_KEY_REGISTRY: dict[bytes, bytes] = {}
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """Convenience bundle of a private key and its public key."""
+
+    private: PrivateKey
+    public: PublicKey
+
+    @classmethod
+    def generate(cls, seed: Any) -> "KeyPair":
+        """Deterministically derive a keypair from ``seed``.
+
+        Two calls with the same seed return the same pair, which keeps
+        workloads reproducible.
+        """
+        material = canonical_encode(seed)
+        sk_bytes = hashlib.sha256(b"seed-key:" + material).digest()
+        private = PrivateKey(sk_bytes)
+        public = private.public_key()
+        _KEY_REGISTRY[public.key_bytes] = sk_bytes
+        return cls(private=private, public=public)
+
+    @property
+    def address(self) -> str:
+        return self.public.address
+
+    def sign(self, message: Any) -> bytes:
+        return sign(message, self.private)
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A detached signature over a canonical message."""
+
+    tag: bytes
+    signer: PublicKey
+
+    def to_canonical(self) -> dict:
+        return {"tag": self.tag, "signer": self.signer.key_bytes}
+
+
+def sign(message: Any, private: PrivateKey) -> bytes:
+    """Sign ``message`` (any canonical-encodable value)."""
+    digest = hash_bytes(canonical_encode(message), DOMAIN_SIG)
+    return hmac.new(private.key_bytes, digest, hashlib.sha256).digest()
+
+
+def verify(message: Any, tag: bytes, public: PublicKey) -> bool:
+    """Return ``True`` iff ``tag`` is ``public``'s signature on ``message``."""
+    sk_bytes = _KEY_REGISTRY.get(public.key_bytes)
+    if sk_bytes is None:
+        raise CryptoError(
+            "unknown public key; keypair was not generated via KeyPair.generate"
+        )
+    digest = hash_bytes(canonical_encode(message), DOMAIN_SIG)
+    expected = hmac.new(sk_bytes, digest, hashlib.sha256).digest()
+    return hmac.compare_digest(expected, tag)
+
+
+def verify_or_raise(message: Any, tag: bytes, public: PublicKey) -> None:
+    """Raise :class:`InvalidSignature` when verification fails."""
+    if not verify(message, tag, public):
+        raise InvalidSignature(f"bad signature from {public.address}")

@@ -1,0 +1,54 @@
+"""Application domains (the paper's RQ2 landscape, Tables 1 & 2).
+
+Each module implements one collaborative domain's lifecycle and emits
+schema-valid provenance records through the shared capture pipeline:
+
+* :mod:`~repro.domains.scientific` — workflow lifecycle of Figure 4 with
+  branching, merging, and invalidation;
+* :mod:`~repro.domains.forensics` — the five investigation stages of
+  Figure 5 with evidence custody;
+* :mod:`~repro.domains.supplychain` — products, two-phase custody
+  transfer, PUF device authentication, cold chain;
+* :mod:`~repro.domains.healthcare` — EHR lifecycle, consent, break-glass
+  access, HIPAA-style auditing;
+* :mod:`~repro.domains.ml` — AI asset DAGs and federated learning with
+  reputation-based poisoning defense.
+"""
+
+from .scientific import Task, TaskStatus, Workflow, WorkflowManager
+from .forensics import (
+    CaseManager,
+    EvidenceItem,
+    ForensicCase,
+    InvestigationStage,
+)
+from .supplychain import (
+    ColdChainMonitor,
+    Product,
+    PUFDevice,
+    SupplyChainRegistry,
+)
+from .healthcare import ConsentRegistry, EHRSystem, EHRRecord
+from .ml import AssetGraph, FederatedLearning, FLConfig, MLAsset
+
+__all__ = [
+    "Task",
+    "TaskStatus",
+    "Workflow",
+    "WorkflowManager",
+    "CaseManager",
+    "EvidenceItem",
+    "ForensicCase",
+    "InvestigationStage",
+    "ColdChainMonitor",
+    "Product",
+    "PUFDevice",
+    "SupplyChainRegistry",
+    "ConsentRegistry",
+    "EHRSystem",
+    "EHRRecord",
+    "AssetGraph",
+    "FederatedLearning",
+    "FLConfig",
+    "MLAsset",
+]

@@ -1,0 +1,290 @@
+"""Digital forensics investigations — the paper's Figure 5, executable.
+
+The five-stage methodology: **identification → preservation → collection
+→ analysis → reporting**.  Stage order is enforced (evidence handling
+before preservation is inadmissible); every action appends to the
+evidence's chain of custody; case integrity is committed into a
+:class:`~repro.crypto.distributed_merkle.CaseForest` with one subtree per
+stage — ForensiBlock's structure (§4.5).
+
+Records follow Table 1's digital-forensics column: case number, stage,
+dates, file types, access patterns, file dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..clock import SimClock
+from ..crypto.distributed_merkle import CaseForest, ForestProof
+from ..crypto.hashing import hash_bytes
+from ..errors import CustodyError, UnknownEntity
+from ..provenance.capture import CaptureSink
+from ..provenance.records import make_record
+
+
+class InvestigationStage(str, Enum):
+    """Figure 5's five stages, in order."""
+
+    IDENTIFICATION = "identification"
+    PRESERVATION = "preservation"
+    COLLECTION = "collection"
+    ANALYSIS = "analysis"
+    REPORTING = "reporting"
+
+    @classmethod
+    def ordered(cls) -> list["InvestigationStage"]:
+        return [cls.IDENTIFICATION, cls.PRESERVATION, cls.COLLECTION,
+                cls.ANALYSIS, cls.REPORTING]
+
+    def next_stage(self) -> "InvestigationStage | None":
+        stages = self.ordered()
+        index = stages.index(self)
+        return stages[index + 1] if index + 1 < len(stages) else None
+
+
+@dataclass
+class CustodyEntry:
+    """One link in an evidence item's chain of custody."""
+
+    actor: str
+    action: str
+    stage: InvestigationStage
+    timestamp: int
+    content_hash: bytes
+
+
+@dataclass
+class EvidenceItem:
+    """A piece of electronically stored information (ESI)."""
+
+    evidence_id: str
+    case_number: str
+    file_type: str
+    content_hash: bytes
+    collected_by: str
+    collected_at: int
+    depends_on: list[str] = field(default_factory=list)
+    custody: list[CustodyEntry] = field(default_factory=list)
+
+    def custody_intact(self) -> bool:
+        """Do consecutive custody entries agree on the content hash?"""
+        return all(entry.content_hash == self.content_hash
+                   for entry in self.custody)
+
+
+@dataclass
+class ForensicCase:
+    """One investigation."""
+
+    case_number: str
+    lead_investigator: str
+    opened_at: int
+    stage: InvestigationStage = InvestigationStage.IDENTIFICATION
+    closed_at: int | None = None
+    evidence: dict[str, EvidenceItem] = field(default_factory=dict)
+    forest: CaseForest = field(default_factory=CaseForest)
+    access_log: list[tuple[str, str, int]] = field(default_factory=list)
+
+    @property
+    def is_open(self) -> bool:
+        return self.closed_at is None
+
+
+class CaseManager:
+    """Runs investigations and captures their provenance."""
+
+    def __init__(self, sink: CaptureSink, clock: SimClock | None = None) -> None:
+        self.sink = sink
+        self.clock = clock or SimClock()
+        self.cases: dict[str, ForensicCase] = {}
+        self._record_counter = 0
+
+    # ------------------------------------------------------------------
+    # Case lifecycle
+    # ------------------------------------------------------------------
+    def open_case(self, case_number: str, lead_investigator: str) -> ForensicCase:
+        if case_number in self.cases:
+            raise CustodyError(f"case {case_number!r} already open")
+        case = ForensicCase(
+            case_number=case_number,
+            lead_investigator=lead_investigator,
+            opened_at=self.clock.now(),
+        )
+        self.cases[case_number] = case
+        self._emit(case, actor=lead_investigator, operation="open_case",
+                   subject=case_number, file_types=[])
+        return case
+
+    def advance_stage(self, case_number: str, actor: str) -> InvestigationStage:
+        """Move to the next Figure-5 stage; stages cannot be skipped."""
+        case = self._case(case_number)
+        self._require_open(case)
+        nxt = case.stage.next_stage()
+        if nxt is None:
+            raise CustodyError(
+                f"case {case_number!r} is already at the final stage"
+            )
+        case.stage = nxt
+        self._emit(case, actor=actor, operation="advance_stage",
+                   subject=case_number, file_types=[])
+        return nxt
+
+    def close_case(self, case_number: str, actor: str) -> ForensicCase:
+        case = self._case(case_number)
+        self._require_open(case)
+        if case.stage != InvestigationStage.REPORTING:
+            raise CustodyError(
+                f"cannot close during {case.stage.value}; a report must be "
+                "produced first"
+            )
+        case.closed_at = self.clock.now()
+        self._emit(case, actor=actor, operation="close_case",
+                   subject=case_number, file_types=[])
+        return case
+
+    # ------------------------------------------------------------------
+    # Evidence handling
+    # ------------------------------------------------------------------
+    def collect_evidence(
+        self,
+        case_number: str,
+        evidence_id: str,
+        actor: str,
+        content: bytes,
+        file_type: str,
+        depends_on: list[str] | None = None,
+    ) -> EvidenceItem:
+        """Register evidence (allowed only in preservation/collection)."""
+        case = self._case(case_number)
+        self._require_open(case)
+        if case.stage not in (InvestigationStage.PRESERVATION,
+                              InvestigationStage.COLLECTION):
+            raise CustodyError(
+                f"evidence may only be collected during preservation or "
+                f"collection; case is in {case.stage.value}"
+            )
+        if evidence_id in case.evidence:
+            raise CustodyError(f"evidence {evidence_id!r} already collected")
+        for dep in depends_on or []:
+            if dep not in case.evidence:
+                raise CustodyError(f"unknown dependency {dep!r}")
+        item = EvidenceItem(
+            evidence_id=evidence_id,
+            case_number=case_number,
+            file_type=file_type,
+            content_hash=hash_bytes(content),
+            collected_by=actor,
+            collected_at=self.clock.now(),
+            depends_on=list(depends_on or []),
+        )
+        item.custody.append(CustodyEntry(
+            actor=actor, action="collect", stage=case.stage,
+            timestamp=self.clock.now(), content_hash=item.content_hash,
+        ))
+        case.evidence[evidence_id] = item
+        case.forest.add(case.stage.value, {
+            "evidence_id": evidence_id,
+            "content_hash": item.content_hash,
+            "actor": actor,
+            "timestamp": item.collected_at,
+        })
+        self._emit(case, actor=actor, operation="collect_evidence",
+                   subject=evidence_id, file_types=[file_type],
+                   file_dependencies=list(depends_on or []))
+        return item
+
+    def access_evidence(self, case_number: str, evidence_id: str,
+                        actor: str, purpose: str = "analysis") -> EvidenceItem:
+        """Record an access (analysis stage onwards); extends custody."""
+        case = self._case(case_number)
+        item = self._evidence(case, evidence_id)
+        if case.stage in (InvestigationStage.IDENTIFICATION,
+                          InvestigationStage.PRESERVATION):
+            raise CustodyError(
+                f"evidence access before collection stage is not allowed"
+            )
+        entry = CustodyEntry(
+            actor=actor, action=purpose, stage=case.stage,
+            timestamp=self.clock.now(), content_hash=item.content_hash,
+        )
+        item.custody.append(entry)
+        case.access_log.append((actor, evidence_id, self.clock.now()))
+        case.forest.add(case.stage.value, {
+            "evidence_id": evidence_id,
+            "action": purpose,
+            "actor": actor,
+            "timestamp": entry.timestamp,
+        })
+        self._emit(case, actor=actor, operation=f"access:{purpose}",
+                   subject=evidence_id, file_types=[item.file_type],
+                   access_patterns=[f"{actor}:{purpose}"])
+        return item
+
+    # ------------------------------------------------------------------
+    # Integrity
+    # ------------------------------------------------------------------
+    def case_root(self, case_number: str) -> bytes:
+        """The distributed-Merkle root committing the whole case."""
+        return self._case(case_number).forest.root
+
+    def prove_case_entry(self, case_number: str, stage: InvestigationStage,
+                         index: int) -> ForestProof:
+        return self._case(case_number).forest.prove(stage.value, index)
+
+    def chain_of_custody(self, case_number: str,
+                         evidence_id: str) -> list[CustodyEntry]:
+        case = self._case(case_number)
+        return list(self._evidence(case, evidence_id).custody)
+
+    def custody_intact(self, case_number: str) -> bool:
+        """Do all evidence items show consistent content hashes?"""
+        case = self._case(case_number)
+        return all(item.custody_intact() for item in case.evidence.values())
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _case(self, case_number: str) -> ForensicCase:
+        case = self.cases.get(case_number)
+        if case is None:
+            raise UnknownEntity(f"no case {case_number!r}")
+        return case
+
+    @staticmethod
+    def _require_open(case: ForensicCase) -> None:
+        if not case.is_open:
+            raise CustodyError(f"case {case.case_number!r} is closed")
+
+    @staticmethod
+    def _evidence(case: ForensicCase, evidence_id: str) -> EvidenceItem:
+        item = case.evidence.get(evidence_id)
+        if item is None:
+            raise UnknownEntity(
+                f"no evidence {evidence_id!r} in case {case.case_number!r}"
+            )
+        return item
+
+    def _emit(self, case: ForensicCase, actor: str, operation: str,
+              subject: str, file_types: list[str],
+              access_patterns: list[str] | None = None,
+              file_dependencies: list[str] | None = None) -> dict:
+        record = make_record(
+            "digital_forensics",
+            record_id=f"for-{self._record_counter:08d}",
+            subject=subject,
+            actor=actor,
+            operation=operation,
+            timestamp=self.clock.now(),
+            case_number=case.case_number,
+            stage=case.stage.value,
+            case_start=case.opened_at,
+            case_closure=case.closed_at if case.closed_at is not None else 0,
+            file_types=file_types,
+            access_patterns=access_patterns or [],
+            file_dependencies=file_dependencies or [],
+        )
+        self._record_counter += 1
+        self.sink.deliver(record)
+        return record

@@ -1,0 +1,229 @@
+"""Healthcare EHR provenance (§4.3).
+
+Provenance here "is the lifecycle of the electronic health record".  The
+surveyed designs converge on a few requirements this module implements:
+
+* **patient-centric consent** — patients grant/revoke provider access
+  (HealthBlock's "granting patients control over access");
+* **mandatory auditing** — every access attempt, allowed or denied, is
+  recorded (HIPAA's accounting-of-disclosures obligation, Table 2);
+* **break-glass emergency access** — permitted without consent but
+  flagged and separately reportable (HealthBlock's "emergency access
+  needs");
+* **pseudonymized records** — provenance records carry patient
+  pseudonyms, not identities (the anonymity/unlinkability demand of
+  §4.3), with re-identification held by the
+  :class:`~repro.privacy.anonymity.PseudonymManager`;
+* **encrypted payloads** — EHR bodies are ABE-encrypted so only
+  attribute-qualified staff can read them (Niu et al. [59]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..access.audit import AccessAuditLog
+from ..clock import SimClock
+from ..errors import AccessDenied, ConsentError, UnknownEntity
+from ..privacy.anonymity import PseudonymManager
+from ..privacy.encryption import ABEAuthority, ABECiphertext
+from ..provenance.capture import CaptureSink
+from ..provenance.records import make_record
+
+
+@dataclass
+class EHRRecord:
+    """One electronic health record entry."""
+
+    ehr_id: str
+    patient_id: str             # real identity; never leaves this object
+    provider_id: str
+    record_types: list[str]
+    ciphertext: ABECiphertext
+    created_at: int
+
+
+@dataclass
+class Consent:
+    patient_id: str
+    provider_id: str
+    granted_at: int
+    revoked_at: int | None = None
+
+    @property
+    def active(self) -> bool:
+        return self.revoked_at is None
+
+
+class ConsentRegistry:
+    """Patient-controlled provider authorizations."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._consents: dict[tuple[str, str], Consent] = {}
+
+    def grant(self, patient_id: str, provider_id: str) -> Consent:
+        key = (patient_id, provider_id)
+        existing = self._consents.get(key)
+        if existing is not None and existing.active:
+            raise ConsentError(
+                f"{provider_id} already has consent from {patient_id}"
+            )
+        consent = Consent(patient_id=patient_id, provider_id=provider_id,
+                          granted_at=self.clock.now())
+        self._consents[key] = consent
+        return consent
+
+    def revoke(self, patient_id: str, provider_id: str) -> None:
+        consent = self._consents.get((patient_id, provider_id))
+        if consent is None or not consent.active:
+            raise ConsentError(
+                f"no active consent from {patient_id} to {provider_id}"
+            )
+        consent.revoked_at = self.clock.now()
+
+    def has_consent(self, patient_id: str, provider_id: str) -> bool:
+        consent = self._consents.get((patient_id, provider_id))
+        return consent is not None and consent.active
+
+
+class EHRSystem:
+    """The blockchain-backed EHR platform of §4.3, in miniature."""
+
+    def __init__(
+        self,
+        sink: CaptureSink,
+        clock: SimClock | None = None,
+        regulation: str = "HIPAA",
+    ) -> None:
+        self.sink = sink
+        self.clock = clock or SimClock()
+        self.regulation = regulation
+        self.consents = ConsentRegistry(self.clock)
+        self.audit = AccessAuditLog(self.clock)
+        self.pseudonyms = PseudonymManager(master_seed=b"ehr-pseudonyms")
+        self.abe = ABEAuthority(master_seed=b"ehr-abe")
+        self.records: dict[str, EHRRecord] = {}
+        self._record_counter = 0
+        self.emergency_accesses: list[tuple[str, str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Staff & keys
+    # ------------------------------------------------------------------
+    def credential_staff(self, provider_id: str,
+                         attributes: list[str]) -> None:
+        """Issue ABE attributes (e.g. ["doctor", "cardiology"])."""
+        self.abe.issue_key(provider_id, attributes)
+
+    # ------------------------------------------------------------------
+    # Writing records
+    # ------------------------------------------------------------------
+    def add_record(
+        self,
+        patient_id: str,
+        provider_id: str,
+        record_types: list[str],
+        body: bytes,
+        required_attributes: list[str],
+    ) -> EHRRecord:
+        """A provider writes an EHR entry; consent is required."""
+        allowed = self.consents.has_consent(patient_id, provider_id)
+        self.audit.record(provider_id, f"ehr:{patient_id}", "write",
+                          allowed, mechanism="consent")
+        if not allowed:
+            raise ConsentError(
+                f"{provider_id} lacks consent to write for {patient_id}"
+            )
+        ehr_id = f"ehr-{len(self.records):08d}"
+        record = EHRRecord(
+            ehr_id=ehr_id,
+            patient_id=patient_id,
+            provider_id=provider_id,
+            record_types=list(record_types),
+            ciphertext=self.abe.encrypt(body, required_attributes),
+            created_at=self.clock.now(),
+        )
+        self.records[ehr_id] = record
+        # The consent reference must not leak the patient identity into
+        # the (potentially shared) provenance record — reference the
+        # pseudonymized pair instead.
+        pseudonym = self.pseudonyms.pseudonym(patient_id)
+        self._emit(record, actor=provider_id, operation="write",
+                   consent_ref=f"consent:{pseudonym}:{provider_id}")
+        return record
+
+    # ------------------------------------------------------------------
+    # Reading records
+    # ------------------------------------------------------------------
+    def read_record(self, ehr_id: str, provider_id: str) -> bytes:
+        """Consented, attribute-qualified read."""
+        record = self._record(ehr_id)
+        allowed = self.consents.has_consent(record.patient_id, provider_id)
+        self.audit.record(provider_id, f"ehr:{record.patient_id}", "read",
+                          allowed, mechanism="consent")
+        if not allowed:
+            raise AccessDenied(
+                f"{provider_id} lacks consent to read {ehr_id}"
+            )
+        body = self.abe.decrypt(provider_id, record.ciphertext)
+        self._emit(record, actor=provider_id, operation="read")
+        return body
+
+    def emergency_access(self, ehr_id: str, provider_id: str,
+                         justification: str) -> bytes:
+        """Break-glass read: bypasses consent, never bypasses the audit."""
+        record = self._record(ehr_id)
+        self.audit.record(provider_id, f"ehr:{record.patient_id}",
+                          "emergency_read", True,
+                          mechanism=f"break-glass:{justification}")
+        self.emergency_accesses.append(
+            (provider_id, ehr_id, self.clock.now())
+        )
+        body = self.abe.decrypt(provider_id, record.ciphertext)
+        self._emit(record, actor=provider_id, operation="emergency_read")
+        return body
+
+    # ------------------------------------------------------------------
+    # Compliance reporting
+    # ------------------------------------------------------------------
+    def disclosures_for(self, patient_id: str) -> list[dict]:
+        """HIPAA-style accounting of disclosures for one patient."""
+        resource = f"ehr:{patient_id}"
+        return [
+            {"provider": d.subject, "action": d.action,
+             "allowed": d.allowed, "timestamp": d.timestamp,
+             "mechanism": d.mechanism}
+            for d in self.audit
+            if d.resource == resource
+        ]
+
+    def emergency_report(self) -> list[tuple[str, str, int]]:
+        return list(self.emergency_accesses)
+
+    # ------------------------------------------------------------------
+    def _record(self, ehr_id: str) -> EHRRecord:
+        record = self.records.get(ehr_id)
+        if record is None:
+            raise UnknownEntity(f"no EHR record {ehr_id!r}")
+        return record
+
+    def _emit(self, record: EHRRecord, actor: str, operation: str,
+              consent_ref: str = "") -> dict:
+        pseudonym = self.pseudonyms.pseudonym(record.patient_id)
+        prov = make_record(
+            "healthcare",
+            record_id=f"hc-{self._record_counter:08d}",
+            subject=record.ehr_id,
+            actor=actor,
+            operation=operation,
+            timestamp=self.clock.now(),
+            patient_pseudonym=pseudonym,
+            ehr_id=record.ehr_id,
+            provider_id=actor,
+            consent_ref=consent_ref or "none",
+            record_types=list(record.record_types),
+            regulation=self.regulation,
+        )
+        self._record_counter += 1
+        self.sink.deliver(prov)
+        return prov

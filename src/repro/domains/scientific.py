@@ -1,0 +1,340 @@
+"""Scientific workflow lifecycle — the paper's Figure 4, executable.
+
+Figure 4's loop: design → execute → record provenance → (results found
+faulty) → invalidate → re-execute.  The §4.1 systems add requirements
+this module implements:
+
+* **multiple workflows** sharing one provenance store (SciLedger);
+* **branching and merging** — a task may consume outputs of several
+  tasks and feed several others (the "complex operations" SciLedger
+  supports and §4.6 says others struggle with);
+* **timestamp-based invalidation** (SciBlock) — invalidating a task marks
+  its outputs and *cascades* to every transitively dependent result, so
+  stale conclusions cannot silently survive upstream corrections;
+* **re-execution** — invalidated tasks can be re-run as fresh executions,
+  preserving the full history (the old execution remains recorded, as
+  immutability demands).
+
+Every lifecycle step emits a schema-valid provenance record (Table 1's
+scientific column) into the capture sink and updates the shared
+provenance graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..clock import SimClock
+from ..errors import UnknownEntity, WorkflowError
+from ..provenance.capture import CaptureSink
+from ..provenance.graph import ProvenanceGraph
+from ..provenance.model import RelationKind
+from ..provenance.records import make_record
+
+
+class TaskStatus(str, Enum):
+    DESIGNED = "designed"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    INVALIDATED = "invalidated"
+
+
+@dataclass
+class Task:
+    """One workflow step."""
+
+    task_id: str
+    workflow_id: str
+    user_id: str
+    inputs: list[str] = field(default_factory=list)    # entity ids
+    outputs: list[str] = field(default_factory=list)   # entity ids
+    status: TaskStatus = TaskStatus.DESIGNED
+    started_at: int = 0
+    finished_at: int = 0
+    execution_count: int = 0
+    invalidated_at: int | None = None
+
+    @property
+    def execution_time(self) -> int:
+        return max(0, self.finished_at - self.started_at)
+
+
+@dataclass
+class Workflow:
+    """A named collection of tasks over shared data entities."""
+
+    workflow_id: str
+    owner: str
+    task_ids: list[str] = field(default_factory=list)
+
+
+class WorkflowManager:
+    """Runs workflows and captures their provenance."""
+
+    def __init__(
+        self,
+        sink: CaptureSink,
+        clock: SimClock | None = None,
+        graph: ProvenanceGraph | None = None,
+    ) -> None:
+        self.sink = sink
+        self.clock = clock or SimClock()
+        self.graph = graph if graph is not None else ProvenanceGraph()
+        self.workflows: dict[str, Workflow] = {}
+        self.tasks: dict[str, Task] = {}
+        self._record_counter = 0
+        self.invalidation_cascades = 0
+
+    # ------------------------------------------------------------------
+    # Design phase
+    # ------------------------------------------------------------------
+    def create_workflow(self, workflow_id: str, owner: str) -> Workflow:
+        if workflow_id in self.workflows:
+            raise WorkflowError(f"workflow {workflow_id!r} exists")
+        workflow = Workflow(workflow_id=workflow_id, owner=owner)
+        self.workflows[workflow_id] = workflow
+        self.graph.add_agent(owner)
+        return workflow
+
+    def design_task(
+        self,
+        workflow_id: str,
+        task_id: str,
+        user_id: str,
+        inputs: list[str],
+        outputs: list[str],
+    ) -> Task:
+        """Add a task to a workflow (Figure 4's design stage).
+
+        Inputs may be external data or outputs of earlier tasks
+        (branching/merging arises naturally from shared entity ids).
+        """
+        workflow = self._workflow(workflow_id)
+        if task_id in self.tasks:
+            raise WorkflowError(f"task {task_id!r} exists")
+        if not outputs:
+            raise WorkflowError("a task must declare at least one output")
+        overlap = set(inputs) & set(outputs)
+        if overlap:
+            raise WorkflowError(
+                f"task {task_id!r} lists {sorted(overlap)} as both input "
+                "and output"
+            )
+        for output in outputs:
+            producer = self._producer_of(output)
+            if producer is not None:
+                raise WorkflowError(
+                    f"output {output!r} already produced by {producer}"
+                )
+        task = Task(task_id=task_id, workflow_id=workflow_id,
+                    user_id=user_id, inputs=list(inputs),
+                    outputs=list(outputs))
+        self.tasks[task_id] = task
+        workflow.task_ids.append(task_id)
+        return task
+
+    def _producer_of(self, output_id: str) -> str | None:
+        for task in self.tasks.values():
+            if output_id in task.outputs and task.status != TaskStatus.INVALIDATED:
+                return task.task_id
+        return None
+
+    # ------------------------------------------------------------------
+    # Execution phase
+    # ------------------------------------------------------------------
+    def execute_task(self, task_id: str, duration: int = 1) -> dict:
+        """Run a designed task; returns the emitted provenance record.
+
+        Upstream inputs that are task outputs must come from *completed*,
+        non-invalidated tasks.
+        """
+        task = self._task(task_id)
+        if task.status not in (TaskStatus.DESIGNED, TaskStatus.INVALIDATED):
+            raise WorkflowError(
+                f"task {task_id!r} is {task.status.value}; cannot execute"
+            )
+        for input_id in task.inputs:
+            producer_id = self._producer_of(input_id)
+            if producer_id is not None:
+                producer = self.tasks[producer_id]
+                if producer.status != TaskStatus.COMPLETED:
+                    raise WorkflowError(
+                        f"input {input_id!r} of {task_id!r} comes from "
+                        f"{producer_id!r} which is {producer.status.value}"
+                    )
+        task.status = TaskStatus.RUNNING
+        task.started_at = self.clock.now()
+        self.clock.advance(duration)
+        task.finished_at = self.clock.now()
+        task.status = TaskStatus.COMPLETED
+        task.execution_count += 1
+        task.invalidated_at = None
+        self._record_execution_provenance(task)
+        return self._emit_record(task, operation="execute")
+
+    def _record_execution_provenance(self, task: Task) -> None:
+        execution_id = f"{task.task_id}#run{task.execution_count}"
+        self.graph.add_activity(execution_id,
+                                created_at=task.started_at,
+                                workflow=task.workflow_id)
+        self.graph.add_agent(task.user_id)
+        self.graph.relate(execution_id, RelationKind.WAS_ASSOCIATED_WITH,
+                          task.user_id, timestamp=task.started_at)
+        for input_id in task.inputs:
+            if not self.graph.has_node(input_id):
+                self.graph.add_entity(input_id, created_at=task.started_at,
+                                      external=True)
+            self.graph.relate(execution_id, RelationKind.USED, input_id,
+                              timestamp=task.started_at)
+        for output_id in task.outputs:
+            versioned = f"{output_id}@{task.execution_count}"
+            self.graph.add_entity(versioned, created_at=task.finished_at,
+                                  logical_id=output_id)
+            if not self.graph.has_node(output_id):
+                self.graph.add_entity(output_id, created_at=task.finished_at)
+            # The logical dataset's current content derives from this
+            # version — without this edge, lineage queries would stop at
+            # logical ids and never reach upstream tasks.
+            self.graph.relate(output_id, RelationKind.WAS_DERIVED_FROM,
+                              versioned, timestamp=task.finished_at,
+                              role="current-version")
+            self.graph.relate(versioned, RelationKind.WAS_GENERATED_BY,
+                              execution_id, timestamp=task.finished_at)
+            for input_id in task.inputs:
+                self.graph.relate(versioned, RelationKind.WAS_DERIVED_FROM,
+                                  input_id, timestamp=task.finished_at)
+
+    # ------------------------------------------------------------------
+    # Invalidation (Figure 4's feedback loop, SciBlock/SciLedger)
+    # ------------------------------------------------------------------
+    def invalidate_task(self, task_id: str, reason: str = "") -> list[str]:
+        """Invalidate a task and cascade to every dependent task.
+
+        Returns the list of task ids invalidated (including ``task_id``),
+        in cascade order.  Cascading works over *current* data
+        dependencies: any task consuming an output (direct or transitive)
+        of the invalidated task is itself invalidated.
+        """
+        root = self._task(task_id)
+        if root.status != TaskStatus.COMPLETED:
+            raise WorkflowError(
+                f"only completed tasks can be invalidated; {task_id!r} is "
+                f"{root.status.value}"
+            )
+        now = self.clock.now()
+        invalidated: list[str] = []
+        frontier = [task_id]
+        seen = {task_id}
+        while frontier:
+            current_id = frontier.pop(0)
+            current = self.tasks[current_id]
+            if current.status == TaskStatus.COMPLETED:
+                current.status = TaskStatus.INVALIDATED
+                current.invalidated_at = now
+                invalidated.append(current_id)
+                self._emit_record(current, operation="invalidate",
+                                  invalidated=[f"{o}@{current.execution_count}"
+                                               for o in current.outputs])
+            for dependent_id in self._dependents_of(current):
+                if dependent_id not in seen:
+                    seen.add(dependent_id)
+                    frontier.append(dependent_id)
+        self.invalidation_cascades += 1
+        return invalidated
+
+    def _dependents_of(self, task: Task) -> list[str]:
+        outputs = set(task.outputs)
+        return [
+            other.task_id
+            for other in self.tasks.values()
+            if other.task_id != task.task_id and outputs & set(other.inputs)
+        ]
+
+    def re_execute(self, task_id: str, duration: int = 1) -> dict:
+        """Re-run an invalidated task (Figure 4's re-execution arrow)."""
+        task = self._task(task_id)
+        if task.status != TaskStatus.INVALIDATED:
+            raise WorkflowError(
+                f"only invalidated tasks can be re-executed; {task_id!r} "
+                f"is {task.status.value}"
+            )
+        return self.execute_task(task_id, duration=duration)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def valid_results(self, workflow_id: str) -> list[str]:
+        """Current (non-invalidated) outputs of a workflow."""
+        workflow = self._workflow(workflow_id)
+        results = []
+        for task_id in workflow.task_ids:
+            task = self.tasks[task_id]
+            if task.status == TaskStatus.COMPLETED:
+                results.extend(task.outputs)
+        return results
+
+    def execution_schedule(self, workflow_id: str) -> list[str]:
+        """Task ids in dependency order (a valid (re-)execution order)."""
+        workflow = self._workflow(workflow_id)
+        tasks = [self.tasks[tid] for tid in workflow.task_ids]
+        produced_by = {}
+        for task in tasks:
+            for output in task.outputs:
+                produced_by[output] = task.task_id
+        # Kahn over task-level dependencies.
+        deps: dict[str, set[str]] = {
+            t.task_id: {produced_by[i] for i in t.inputs if i in produced_by}
+            for t in tasks
+        }
+        ready = sorted(tid for tid, d in deps.items() if not d)
+        order: list[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for tid in sorted(deps):
+                if current in deps[tid]:
+                    deps[tid].discard(current)
+                    if not deps[tid] and tid not in order and tid not in ready:
+                        ready.append(tid)
+        if len(order) != len(tasks):
+            raise WorkflowError(
+                f"workflow {workflow_id!r} has a dependency cycle"
+            )
+        return order
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _workflow(self, workflow_id: str) -> Workflow:
+        workflow = self.workflows.get(workflow_id)
+        if workflow is None:
+            raise UnknownEntity(f"no workflow {workflow_id!r}")
+        return workflow
+
+    def _task(self, task_id: str) -> Task:
+        task = self.tasks.get(task_id)
+        if task is None:
+            raise UnknownEntity(f"no task {task_id!r}")
+        return task
+
+    def _emit_record(self, task: Task, operation: str,
+                     invalidated: list[str] | None = None) -> dict:
+        record = make_record(
+            "scientific",
+            record_id=f"sci-{self._record_counter:08d}",
+            subject=task.outputs[0] if task.outputs else task.task_id,
+            actor=task.user_id,
+            operation=operation,
+            timestamp=self.clock.now(),
+            task_id=task.task_id,
+            workflow_id=task.workflow_id,
+            execution_time=task.execution_time,
+            user_id=task.user_id,
+            input_data=list(task.inputs),
+            output_data=list(task.outputs),
+            invalidated_results=invalidated or [],
+        )
+        self._record_counter += 1
+        self.sink.deliver(record)
+        return record

@@ -1,0 +1,307 @@
+"""Supply chain provenance (§4.2).
+
+Implements the mechanisms the surveyed supply-chain systems contribute:
+
+* **legitimate product registration** — only authorized manufacturers may
+  register products (the "illegitimate product registration" challenge of
+  Table 2);
+* **confirmation-based ownership transfer** (Cui et al. [23]) — transfer
+  is a two-phase initiate/confirm handshake, so neither theft (unilateral
+  take) nor mis-shipment (unilateral give) silently changes custody;
+* **PUF-backed device authentication** (Islam et al. [38]) — devices
+  answer challenges through a physically unclonable function; a
+  counterfeit clone fails authentication;
+* **cold-chain monitoring** (Kumar et al. [42], pharma §4.2) — sensor
+  readings are recorded and excursions outside the permitted band are
+  flagged and provable;
+* **travel trace** — Table 1's field, accumulated from custody transfers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..clock import SimClock
+from ..errors import CustodyError, DomainError, UnknownEntity
+from ..provenance.capture import CaptureSink
+from ..provenance.records import make_record
+
+
+@dataclass(frozen=True)
+class PUFDevice:
+    """A device with a physically unclonable function.
+
+    The PUF is modeled as a keyed PRF over challenges; the key (the
+    silicon fingerprint) never leaves the device object.  Enrollment
+    stores challenge-response pairs; authentication replays a stored
+    challenge and compares responses.
+    """
+
+    device_id: str
+    _fingerprint: bytes
+
+    @classmethod
+    def manufacture(cls, device_id: str, seed: int = 0) -> "PUFDevice":
+        fingerprint = hashlib.sha256(
+            f"puf:{device_id}:{seed}".encode()
+        ).digest()
+        return cls(device_id=device_id, _fingerprint=fingerprint)
+
+    def respond(self, challenge: bytes) -> bytes:
+        """The device's unclonable response to ``challenge``."""
+        return hashlib.sha256(
+            b"puf-response:" + self._fingerprint + challenge
+        ).digest()
+
+
+@dataclass
+class CRPStore:
+    """Enrolled challenge-response pairs held by the verifier."""
+
+    pairs: dict[str, list[tuple[bytes, bytes]]] = field(default_factory=dict)
+
+    def enroll(self, device: PUFDevice, challenges: list[bytes]) -> None:
+        self.pairs[device.device_id] = [
+            (c, device.respond(c)) for c in challenges
+        ]
+
+    def authenticate(self, device: PUFDevice) -> bool:
+        """Replay one enrolled challenge; a clone fails."""
+        enrolled = self.pairs.get(device.device_id)
+        if not enrolled:
+            return False
+        challenge, expected = enrolled[0]
+        return device.respond(challenge) == expected
+
+
+@dataclass
+class Product:
+    """A tracked product (Table 1's supply-chain record fields)."""
+
+    product_id: str
+    batch_number: str
+    product_type: str
+    manufacturer_id: str
+    manufacturing_date: int
+    expiration_date: int
+    owner: str = ""
+    travel_trace: list[str] = field(default_factory=list)
+    device: PUFDevice | None = None
+    pending_transfer: str | None = None    # proposed new owner
+
+
+@dataclass(frozen=True)
+class TemperatureReading:
+    product_id: str
+    facility: str
+    celsius_tenths: int       # 10ths of a degree, integer for determinism
+    timestamp: int
+
+
+class ColdChainMonitor:
+    """Records temperature readings and detects excursions."""
+
+    def __init__(self, lo_tenths: int, hi_tenths: int) -> None:
+        if lo_tenths > hi_tenths:
+            raise DomainError("empty temperature band")
+        self.lo = lo_tenths
+        self.hi = hi_tenths
+        self.readings: list[TemperatureReading] = []
+        self.violations: list[TemperatureReading] = []
+
+    def record(self, reading: TemperatureReading) -> bool:
+        """Store a reading; returns True when it is within band."""
+        self.readings.append(reading)
+        ok = self.lo <= reading.celsius_tenths <= self.hi
+        if not ok:
+            self.violations.append(reading)
+        return ok
+
+    def excursions_for(self, product_id: str) -> list[TemperatureReading]:
+        return [r for r in self.violations if r.product_id == product_id]
+
+
+class SupplyChainRegistry:
+    """The shared product registry all stakeholders write through."""
+
+    def __init__(
+        self,
+        sink: CaptureSink,
+        authorized_manufacturers: set[str],
+        clock: SimClock | None = None,
+        cold_chain: ColdChainMonitor | None = None,
+    ) -> None:
+        self.sink = sink
+        self.clock = clock or SimClock()
+        self.authorized = set(authorized_manufacturers)
+        self.cold_chain = cold_chain
+        self.products: dict[str, Product] = {}
+        self.crp_store = CRPStore()
+        self._record_counter = 0
+        self.rejected_registrations = 0
+        self.rejected_transfers = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_product(
+        self,
+        manufacturer_id: str,
+        product_id: str,
+        batch_number: str,
+        product_type: str,
+        expiration_date: int,
+        with_puf: bool = False,
+        puf_seed: int = 0,
+    ) -> Product:
+        """Register a product; only authorized manufacturers succeed."""
+        if manufacturer_id not in self.authorized:
+            self.rejected_registrations += 1
+            raise CustodyError(
+                f"{manufacturer_id!r} is not an authorized manufacturer; "
+                "registration rejected"
+            )
+        if product_id in self.products:
+            self.rejected_registrations += 1
+            raise CustodyError(f"product {product_id!r} already registered")
+        device = None
+        if with_puf:
+            device = PUFDevice.manufacture(product_id, seed=puf_seed)
+            challenges = [
+                hashlib.sha256(f"ch:{product_id}:{i}".encode()).digest()
+                for i in range(4)
+            ]
+            self.crp_store.enroll(device, challenges)
+        product = Product(
+            product_id=product_id,
+            batch_number=batch_number,
+            product_type=product_type,
+            manufacturer_id=manufacturer_id,
+            manufacturing_date=self.clock.now(),
+            expiration_date=expiration_date,
+            owner=manufacturer_id,
+            travel_trace=[manufacturer_id],
+            device=device,
+        )
+        self.products[product_id] = product
+        self._emit(product, actor=manufacturer_id, operation="register")
+        return product
+
+    # ------------------------------------------------------------------
+    # Confirmation-based ownership transfer (Cui et al.)
+    # ------------------------------------------------------------------
+    def initiate_transfer(self, product_id: str, current_owner: str,
+                          new_owner: str) -> None:
+        """Phase 1: the current owner proposes a transfer."""
+        product = self._product(product_id)
+        if product.owner != current_owner:
+            self.rejected_transfers += 1
+            raise CustodyError(
+                f"{current_owner!r} does not own {product_id!r} "
+                f"(owner is {product.owner!r})"
+            )
+        if product.pending_transfer is not None:
+            raise CustodyError(
+                f"transfer of {product_id!r} already pending to "
+                f"{product.pending_transfer!r}"
+            )
+        product.pending_transfer = new_owner
+        self._emit(product, actor=current_owner,
+                   operation=f"initiate_transfer:{new_owner}")
+
+    def confirm_transfer(self, product_id: str, new_owner: str) -> Product:
+        """Phase 2: the receiver confirms; custody actually changes."""
+        product = self._product(product_id)
+        if product.pending_transfer != new_owner:
+            self.rejected_transfers += 1
+            raise CustodyError(
+                f"no pending transfer of {product_id!r} to {new_owner!r}"
+            )
+        product.owner = new_owner
+        product.pending_transfer = None
+        product.travel_trace.append(new_owner)
+        self._emit(product, actor=new_owner, operation="confirm_transfer")
+        return product
+
+    def cancel_transfer(self, product_id: str, current_owner: str) -> None:
+        product = self._product(product_id)
+        if product.owner != current_owner:
+            raise CustodyError(f"{current_owner!r} does not own {product_id!r}")
+        if product.pending_transfer is None:
+            raise CustodyError(f"no pending transfer on {product_id!r}")
+        product.pending_transfer = None
+        self._emit(product, actor=current_owner, operation="cancel_transfer")
+
+    # ------------------------------------------------------------------
+    # Authentication & cold chain
+    # ------------------------------------------------------------------
+    def authenticate_device(self, product_id: str,
+                            presented: PUFDevice) -> bool:
+        """Verify a presented device against enrolled CRPs.
+
+        A counterfeit (different fingerprint, same claimed id) fails.
+        """
+        product = self._product(product_id)
+        if product.device is None:
+            raise DomainError(f"{product_id!r} has no PUF device")
+        ok = (presented.device_id == product_id
+              and self.crp_store.authenticate(presented))
+        self._emit(product, actor="verifier",
+                   operation=f"authenticate:{'pass' if ok else 'fail'}")
+        return ok
+
+    def record_temperature(self, product_id: str, facility: str,
+                           celsius_tenths: int) -> bool:
+        if self.cold_chain is None:
+            raise DomainError("no cold-chain monitor configured")
+        product = self._product(product_id)
+        reading = TemperatureReading(
+            product_id=product_id,
+            facility=facility,
+            celsius_tenths=celsius_tenths,
+            timestamp=self.clock.now(),
+        )
+        ok = self.cold_chain.record(reading)
+        self._emit(product, actor=facility,
+                   operation=f"temperature:{'ok' if ok else 'excursion'}")
+        return ok
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def trace(self, product_id: str) -> list[str]:
+        """The product's travel trace (Table 1 field)."""
+        return list(self._product(product_id).travel_trace)
+
+    def owned_by(self, owner: str) -> list[str]:
+        return sorted(p.product_id for p in self.products.values()
+                      if p.owner == owner)
+
+    # ------------------------------------------------------------------
+    def _product(self, product_id: str) -> Product:
+        product = self.products.get(product_id)
+        if product is None:
+            raise UnknownEntity(f"no product {product_id!r}")
+        return product
+
+    def _emit(self, product: Product, actor: str, operation: str) -> dict:
+        record = make_record(
+            "supply_chain",
+            record_id=f"sup-{self._record_counter:08d}",
+            subject=product.product_id,
+            actor=actor,
+            operation=operation,
+            timestamp=self.clock.now(),
+            product_id=product.product_id,
+            batch_number=product.batch_number,
+            manufacturing_date=product.manufacturing_date,
+            expiration_date=product.expiration_date,
+            travel_trace=list(product.travel_trace),
+            product_type=product.product_type,
+            manufacturer_id=product.manufacturer_id,
+            access_url=f"qr://{product.product_id}",
+        )
+        self._record_counter += 1
+        self.sink.deliver(record)
+        return record

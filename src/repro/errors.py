@@ -1,0 +1,160 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SerializationError(ReproError):
+    """A value could not be canonically serialized for hashing."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class InvalidSignature(CryptoError):
+    """A signature failed verification."""
+
+
+class InvalidProof(CryptoError):
+    """A Merkle / commitment / range proof failed verification."""
+
+
+class ChainError(ReproError):
+    """Base class for blockchain-level failures."""
+
+
+class InvalidBlock(ChainError):
+    """A block violates a structural or consensus rule."""
+
+
+class InvalidTransaction(ChainError):
+    """A transaction is malformed or fails validation."""
+
+
+class ForkError(ChainError):
+    """A fork-choice or reorganization problem."""
+
+
+class TamperDetected(ChainError):
+    """Integrity verification found a mutated block or record."""
+
+
+class ConsensusError(ReproError):
+    """A consensus engine could not reach or verify agreement."""
+
+
+class NetworkError(ReproError):
+    """A simulated-network delivery failure."""
+
+
+class PartitionError(NetworkError):
+    """Message could not be delivered because of a network partition."""
+
+
+class ContractError(ReproError):
+    """Base class for smart-contract runtime failures."""
+
+
+class ContractNotFound(ContractError):
+    """No contract is deployed at the given address."""
+
+
+class ContractReverted(ContractError):
+    """Contract execution reverted; state changes were rolled back."""
+
+
+class OutOfGas(ContractReverted):
+    """Execution exceeded its gas allowance."""
+
+
+class StorageError(ReproError):
+    """Base class for off-chain storage failures."""
+
+
+class ObjectNotFound(StorageError):
+    """Requested object/CID does not exist in the store."""
+
+
+class ProvenanceError(ReproError):
+    """Base class for provenance-layer failures."""
+
+
+class UnknownEntity(ProvenanceError):
+    """Referenced provenance node does not exist."""
+
+
+class CycleDetected(ProvenanceError):
+    """An operation would introduce a cycle into the provenance DAG."""
+
+
+class RecordValidationError(ProvenanceError):
+    """A domain provenance record is missing or has malformed fields."""
+
+
+class CaptureError(ProvenanceError):
+    """A provenance capture pathway could not record an operation."""
+
+
+class AnchorError(ProvenanceError):
+    """Anchoring provenance to the chain failed or proof was invalid."""
+
+
+class QueryError(ProvenanceError):
+    """A provenance query was malformed or could not be answered."""
+
+
+class AccessDenied(ReproError):
+    """An access-control policy denied the operation."""
+
+
+class PolicyError(ReproError):
+    """An access-control policy is malformed."""
+
+
+class PrivacyError(ReproError):
+    """Base class for privacy-layer failures."""
+
+
+class DecryptionError(PrivacyError):
+    """Ciphertext could not be decrypted with the supplied key."""
+
+
+class CrossChainError(ReproError):
+    """Base class for cross-chain protocol failures."""
+
+
+class SwapAborted(CrossChainError):
+    """An atomic swap was aborted; all legs refunded."""
+
+
+class TimelockExpired(CrossChainError):
+    """An HTLC timelock expired before the secret was revealed."""
+
+
+class BridgeError(CrossChainError):
+    """A bridge-chain transfer failed validation or voting."""
+
+
+class DomainError(ReproError):
+    """Base class for application-domain failures."""
+
+
+class WorkflowError(DomainError):
+    """Scientific workflow lifecycle violation."""
+
+
+class CustodyError(DomainError):
+    """Supply-chain or forensic chain-of-custody violation."""
+
+
+class ConsentError(DomainError):
+    """Healthcare consent requirement violated."""

@@ -1,0 +1,115 @@
+"""A blockchain node: chain replica + mempool + message dispatch.
+
+``ChainNode`` is the unit the consensus clusters coordinate.  Each node
+holds its own :class:`~repro.chain.blockchain.Blockchain` replica and
+mempool; the consensus layer decides when a node may seal a block and how
+commits propagate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..chain import Block, Blockchain, ChainParams, Mempool, Transaction
+from .gossip import GossipProtocol
+from .message import NetMessage
+from .simnet import SimNet
+
+TopicHandler = Callable[[NetMessage], None]
+
+
+class ChainNode:
+    """One network participant maintaining a chain replica."""
+
+    def __init__(
+        self,
+        node_id: str,
+        net: SimNet,
+        params: ChainParams | None = None,
+        region: str = "default",
+    ) -> None:
+        self.node_id = node_id
+        self.net = net
+        self.chain = Blockchain(params)
+        self.mempool = Mempool()
+        self._topic_handlers: dict[str, TopicHandler] = {}
+        self.gossip: GossipProtocol | None = None
+        net.register(node_id, self.dispatch, region=region)
+        self.on_topic("tx", self._handle_tx)
+        self.on_topic("block", self._handle_block)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def on_topic(self, topic: str, handler: TopicHandler) -> None:
+        """Register/replace the handler for ``topic``."""
+        self._topic_handlers[topic] = handler
+
+    def dispatch(self, msg: NetMessage) -> None:
+        if msg.topic == "gossip" and self.gossip is not None:
+            self.gossip.handle(self.node_id, msg)
+            return
+        handler = self._topic_handlers.get(msg.topic)
+        if handler is not None:
+            handler(msg)
+        # Unknown topics are silently ignored, as on a real P2P network.
+
+    def join_gossip(self, gossip: GossipProtocol) -> None:
+        self.gossip = gossip
+        gossip.attach(self.node_id, self._gossip_deliver)
+
+    def _gossip_deliver(self, item_id: str, body: dict) -> None:
+        if body.get("kind") == "tx":
+            tx = _tx_from_body(body)
+            self.mempool.add(tx)
+
+    # ------------------------------------------------------------------
+    # Built-in handlers
+    # ------------------------------------------------------------------
+    def _handle_tx(self, msg: NetMessage) -> None:
+        self.mempool.add(_tx_from_body(dict(msg.body)))
+
+    def _handle_block(self, msg: NetMessage) -> None:
+        # Direct block push is used by the simpler consensus engines; the
+        # body carries an in-process reference (simulation convenience —
+        # structural validation still runs in append_block).
+        block = msg.body.get("_block_ref")
+        if isinstance(block, Block) and block.height == self.chain.height + 1:
+            self.chain.append_block(block)
+            self.mempool.remove(tx.tx_id for tx in block.transactions)
+
+    # ------------------------------------------------------------------
+    # Client-side operations
+    # ------------------------------------------------------------------
+    def submit_transaction(self, tx: Transaction, gossip: bool = False) -> None:
+        """Accept a client transaction locally and optionally gossip it."""
+        self.mempool.add(tx)
+        if gossip and self.gossip is not None:
+            self.gossip.publish(
+                self.node_id, f"tx:{tx.tx_id}", _tx_to_body(tx)
+            )
+
+    def push_block(self, block: Block) -> None:
+        """Send a committed block to every peer (proposer's broadcast)."""
+        for peer in self.net.node_ids:
+            if peer == self.node_id:
+                continue
+            self.net.send(
+                NetMessage(
+                    sender=self.node_id,
+                    recipient=peer,
+                    topic="block",
+                    body={"height": block.height, "_block_ref": block},
+                )
+            )
+
+
+def _tx_to_body(tx: Transaction) -> dict:
+    return {"kind": "tx", "_tx_ref": tx}
+
+
+def _tx_from_body(body: dict) -> Transaction:
+    tx = body.get("_tx_ref")
+    if not isinstance(tx, Transaction):
+        raise TypeError("message body does not carry a transaction")
+    return tx

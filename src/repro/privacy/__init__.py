@@ -1,0 +1,52 @@
+"""Privacy mechanisms the surveyed systems rely on.
+
+* :mod:`~repro.privacy.commitment` — Pedersen commitments over a MODP
+  group (homomorphic, the substrate for range proofs);
+* :mod:`~repro.privacy.rangeproof` — bit-decomposition zero-knowledge
+  range proofs with Fiat–Shamir OR-proofs (PrivChain's ZKRP);
+* :mod:`~repro.privacy.groupsig` — group signatures with anonymity,
+  unlinkability, and manager opening (Abouyoussef et al.'s pandemic
+  platform);
+* :mod:`~repro.privacy.encryption` — authenticated symmetric encryption,
+  attribute-based encryption, and searchable encryption (Niu et al.'s
+  EHR sharing);
+* :mod:`~repro.privacy.anonymity` — pseudonym management and
+  unlinkability helpers.
+
+Cryptographic caveat: commitments and range proofs use real modular
+arithmetic over an RFC 3526 group and are honest constructions, but
+parameters are fixed and nonces deterministic-from-seed, so treat them as
+*behaviour-preserving simulations*, not production cryptography
+(DESIGN.md §2).
+"""
+
+from .commitment import PedersenCommitment, PedersenParams, DEFAULT_PARAMS
+from .rangeproof import RangeProof, prove_range, verify_range
+from .groupsig import GroupManager, GroupSignature
+from .encryption import (
+    SymmetricKey,
+    encrypt,
+    decrypt,
+    ABECiphertext,
+    ABEAuthority,
+    SearchableIndex,
+)
+from .anonymity import PseudonymManager
+
+__all__ = [
+    "PedersenCommitment",
+    "PedersenParams",
+    "DEFAULT_PARAMS",
+    "RangeProof",
+    "prove_range",
+    "verify_range",
+    "GroupManager",
+    "GroupSignature",
+    "SymmetricKey",
+    "encrypt",
+    "decrypt",
+    "ABECiphertext",
+    "ABEAuthority",
+    "SearchableIndex",
+    "PseudonymManager",
+]

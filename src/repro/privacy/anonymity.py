@@ -1,0 +1,60 @@
+"""Pseudonym management and unlinkability helpers.
+
+The RQ1 challenges section warns that "a specific provenance entry [may
+be correlated] to the data owner"; healthcare designs require "anonymity
+and data unlinkability" (§4.3).  The standard mitigation is to act under
+rotating pseudonyms: records carry pseudonyms; only the holder of the
+mapping (the user, or a regulator under due process) can re-identify.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..errors import PrivacyError
+from ..serialization import canonical_encode
+
+
+@dataclass
+class PseudonymManager:
+    """Derives rotating pseudonyms and holds the re-identification map.
+
+    Pseudonyms are ``H(master_seed, user, epoch)``: deterministic for
+    auditability of the simulation, unlinkable across epochs for anyone
+    without the seed.
+    """
+
+    master_seed: bytes = b"pseudonyms"
+    _reverse: dict = field(default_factory=dict)
+
+    def pseudonym(self, user: str, epoch: int = 0) -> str:
+        """The pseudonym for ``user`` during ``epoch``."""
+        digest = hashlib.sha256(
+            b"pseud:" + self.master_seed
+            + canonical_encode({"user": user, "epoch": epoch})
+        ).hexdigest()[:24]
+        name = f"anon-{digest}"
+        self._reverse[name] = (user, epoch)
+        return name
+
+    def reidentify(self, pseudonym: str) -> tuple[str, int]:
+        """Authority-side opening of a pseudonym."""
+        identity = self._reverse.get(pseudonym)
+        if identity is None:
+            raise PrivacyError(f"unknown pseudonym {pseudonym!r}")
+        return identity
+
+    @staticmethod
+    def are_linkable(pseudonym_a: str, pseudonym_b: str) -> bool:
+        """What an outsider can test: literal equality only."""
+        return pseudonym_a == pseudonym_b
+
+    def pseudonymize_record(self, record: dict, epoch: int = 0,
+                            fields: tuple[str, ...] = ("actor",)) -> dict:
+        """Copy ``record`` with identity fields replaced by pseudonyms."""
+        out = dict(record)
+        for field_name in fields:
+            if field_name in out and isinstance(out[field_name], str):
+                out[field_name] = self.pseudonym(out[field_name], epoch)
+        return out

@@ -1,0 +1,147 @@
+"""Pedersen commitments over an RFC 3526 MODP group.
+
+``C = g^v · h^r mod p`` — computationally binding (under discrete log),
+perfectly hiding, and additively homomorphic:
+``C(v1, r1) · C(v2, r2) = C(v1 + v2, r1 + r2)``.
+
+The homomorphism is what the range proofs build on, and what lets
+PrivChain-style designs aggregate committed quantities (e.g. total stock
+moved) without opening individual values.
+
+``h`` is derived from ``g`` by hashing ("nothing up my sleeve"), the
+standard way to argue no party knows ``log_g h``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from ..errors import InvalidProof, PrivacyError
+
+# RFC 3526, 1536-bit MODP group (group 5): p is a safe prime, generator 2.
+_RFC3526_1536_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF",
+    16,
+)
+_Q = (_RFC3526_1536_P - 1) // 2  # prime order of the quadratic-residue subgroup
+
+
+def _hash_to_group(label: bytes, p: int) -> int:
+    """Derive a group element from a label (square to land in QR(p))."""
+    digest = hashlib.sha512(label).digest()
+    value = int.from_bytes(digest * 4, "big") % p
+    return pow(value, 2, p)  # squaring maps into the QR subgroup
+
+
+@dataclass(frozen=True)
+class PedersenParams:
+    """Group parameters shared by all commitments in a deployment."""
+
+    p: int
+    q: int
+    g: int
+    h: int
+
+    @classmethod
+    def default(cls) -> "PedersenParams":
+        p = _RFC3526_1536_P
+        g = 4  # 2² — generator of the QR subgroup
+        h = _hash_to_group(b"repro-pedersen-h", p)
+        return cls(p=p, q=_Q, g=g, h=h)
+
+
+DEFAULT_PARAMS = PedersenParams.default()
+
+
+def _derive_randomness(seed: bytes, q: int) -> int:
+    digest = hashlib.sha512(b"pedersen-r:" + seed).digest()
+    return int.from_bytes(digest, "big") % q
+
+
+@dataclass(frozen=True)
+class PedersenCommitment:
+    """A commitment value plus the parameters it lives in."""
+
+    value: int            # the group element C
+    params: PedersenParams = DEFAULT_PARAMS
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def commit(
+        cls,
+        v: int,
+        randomness: int | None = None,
+        seed: bytes = b"",
+        params: PedersenParams = DEFAULT_PARAMS,
+    ) -> tuple["PedersenCommitment", int]:
+        """Commit to integer ``v``; returns ``(commitment, randomness)``.
+
+        ``v`` may be any integer (reduced mod q); negative values commit
+        to ``v mod q``, which the range-proof layer exploits.
+        """
+        if randomness is None:
+            randomness = _derive_randomness(
+                seed or v.to_bytes(32, "big", signed=True), params.q
+            )
+        r = randomness % params.q
+        c = (pow(params.g, v % params.q, params.p)
+             * pow(params.h, r, params.p)) % params.p
+        return cls(value=c, params=params), r
+
+    def open(self, v: int, r: int) -> bool:
+        """Check that ``(v, r)`` opens this commitment."""
+        expected = (pow(self.params.g, v % self.params.q, self.params.p)
+                    * pow(self.params.h, r % self.params.q, self.params.p)
+                    ) % self.params.p
+        return expected == self.value
+
+    def open_or_raise(self, v: int, r: int) -> None:
+        if not self.open(v, r):
+            raise InvalidProof("Pedersen opening failed")
+
+    # ------------------------------------------------------------------
+    # Homomorphism
+    # ------------------------------------------------------------------
+    def __mul__(self, other: "PedersenCommitment") -> "PedersenCommitment":
+        """Commitment to the *sum* of the two committed values."""
+        self._same_group(other)
+        return PedersenCommitment(
+            value=(self.value * other.value) % self.params.p,
+            params=self.params,
+        )
+
+    def __truediv__(self, other: "PedersenCommitment") -> "PedersenCommitment":
+        """Commitment to the *difference* of the committed values."""
+        self._same_group(other)
+        inverse = pow(other.value, -1, self.params.p)
+        return PedersenCommitment(
+            value=(self.value * inverse) % self.params.p,
+            params=self.params,
+        )
+
+    def __pow__(self, k: int) -> "PedersenCommitment":
+        """Commitment to ``k`` times the committed value."""
+        return PedersenCommitment(
+            value=pow(self.value, k, self.params.p), params=self.params
+        )
+
+    def shift(self, delta: int) -> "PedersenCommitment":
+        """Commitment to ``v + delta`` with unchanged randomness
+        (multiply by ``g^delta``)."""
+        g_delta = pow(self.params.g, delta % self.params.q, self.params.p)
+        return PedersenCommitment(
+            value=(self.value * g_delta) % self.params.p, params=self.params
+        )
+
+    def _same_group(self, other: "PedersenCommitment") -> None:
+        if self.params != other.params:
+            raise PrivacyError("commitments from different parameter sets")
+
+    def to_canonical(self) -> dict:
+        return {"pedersen": self.value}

@@ -1,0 +1,182 @@
+"""Encryption simulations: symmetric AEAD, attribute-based, searchable.
+
+Three constructions the healthcare and forensics designs lean on:
+
+* **Symmetric authenticated encryption** — a SHA-256 keystream cipher
+  with an HMAC tag.  Confidentiality against the in-process adversary and
+  real tamper detection; not a vetted AEAD, see DESIGN.md §2.
+* **Attribute-based encryption (ABE)** — Niu et al. [59] protect EHRs
+  with ciphertext-policy ABE: a ciphertext carries a policy over
+  attributes, and only keys whose attributes satisfy it can decrypt.
+  Simulated by an authority that enforces the policy at key-wrap time.
+* **Searchable encryption** — the same system offers "multi-user search":
+  keyword trapdoors computed with a keyed hash let the server match
+  without learning the keyword.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..errors import DecryptionError, PrivacyError
+from ..serialization import canonical_encode
+
+
+# ---------------------------------------------------------------------------
+# Symmetric authenticated encryption
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SymmetricKey:
+    """A 32-byte symmetric key."""
+
+    key_bytes: bytes
+
+    @classmethod
+    def derive(cls, seed) -> "SymmetricKey":
+        return cls(hashlib.sha256(b"symkey:" + canonical_encode(seed)).digest())
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    counter = 0
+    while sum(len(b) for b in blocks) < length:
+        blocks.append(hashlib.sha256(
+            key + nonce + counter.to_bytes(8, "big")
+        ).digest())
+        counter += 1
+    return b"".join(blocks)[:length]
+
+
+def encrypt(key: SymmetricKey, plaintext: bytes, nonce: bytes = b"") -> bytes:
+    """Encrypt-then-MAC; output is ``nonce(16) || ciphertext || tag(32)``."""
+    if not nonce:
+        nonce = hashlib.sha256(b"nonce:" + key.key_bytes + plaintext).digest()[:16]
+    if len(nonce) != 16:
+        raise PrivacyError("nonce must be 16 bytes")
+    stream = _keystream(key.key_bytes, nonce, len(plaintext))
+    ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac.new(key.key_bytes, nonce + ciphertext, hashlib.sha256).digest()
+    return nonce + ciphertext + tag
+
+
+def decrypt(key: SymmetricKey, blob: bytes) -> bytes:
+    """Verify the tag, then decrypt.  Raises :class:`DecryptionError` on
+    a bad key or tampered ciphertext."""
+    if len(blob) < 48:
+        raise DecryptionError("ciphertext too short")
+    nonce, ciphertext, tag = blob[:16], blob[16:-32], blob[-32:]
+    expected = hmac.new(key.key_bytes, nonce + ciphertext,
+                        hashlib.sha256).digest()
+    if not hmac.compare_digest(expected, tag):
+        raise DecryptionError("authentication tag mismatch")
+    stream = _keystream(key.key_bytes, nonce, len(ciphertext))
+    return bytes(c ^ s for c, s in zip(ciphertext, stream))
+
+
+# ---------------------------------------------------------------------------
+# Attribute-based encryption (ciphertext-policy)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ABECiphertext:
+    """Ciphertext bound to an attribute policy.
+
+    ``policy`` is a frozenset of required attributes (AND semantics; OR
+    policies are expressed as multiple ciphertexts in practice, which is
+    all the surveyed designs need).
+    """
+
+    policy: frozenset[str]
+    blob: bytes
+
+
+@dataclass
+class ABEAuthority:
+    """Issues attribute keys and mediates decryption.
+
+    The authority holds the master secret; user keys are attribute sets
+    plus a user-bound key.  ``decrypt`` succeeds only when the user's
+    attributes satisfy the ciphertext policy — enforced here, standing in
+    for the pairing-based enforcement of real CP-ABE.
+    """
+
+    master_seed: bytes = b"abe-master"
+    _user_attrs: dict = field(default_factory=dict)
+
+    def _data_key(self, policy: frozenset[str]) -> SymmetricKey:
+        material = b"|".join(sorted(a.encode() for a in policy))
+        return SymmetricKey(hashlib.sha256(
+            b"abe:" + self.master_seed + material
+        ).digest())
+
+    def issue_key(self, user: str, attributes: Iterable[str]) -> None:
+        """Give ``user`` an attribute key (replaces any prior one)."""
+        self._user_attrs[user] = frozenset(attributes)
+
+    def revoke_key(self, user: str) -> None:
+        self._user_attrs.pop(user, None)
+
+    def attributes_of(self, user: str) -> frozenset[str]:
+        return self._user_attrs.get(user, frozenset())
+
+    def encrypt(self, plaintext: bytes,
+                required_attributes: Iterable[str]) -> ABECiphertext:
+        policy = frozenset(required_attributes)
+        if not policy:
+            raise PrivacyError("ABE policy must require at least one attribute")
+        return ABECiphertext(
+            policy=policy,
+            blob=encrypt(self._data_key(policy), plaintext),
+        )
+
+    def decrypt(self, user: str, ciphertext: ABECiphertext) -> bytes:
+        attrs = self._user_attrs.get(user)
+        if attrs is None:
+            raise DecryptionError(f"{user} holds no ABE key")
+        if not ciphertext.policy <= attrs:
+            missing = sorted(ciphertext.policy - attrs)
+            raise DecryptionError(
+                f"{user}'s attributes do not satisfy the policy; "
+                f"missing {missing}"
+            )
+        return decrypt(self._data_key(ciphertext.policy), ciphertext.blob)
+
+
+# ---------------------------------------------------------------------------
+# Searchable symmetric encryption
+# ---------------------------------------------------------------------------
+class SearchableIndex:
+    """Keyword search over encrypted documents via keyed trapdoors.
+
+    The index stores ``token -> document ids`` where
+    ``token = HMAC(search_key, keyword)``.  The server (this object) never
+    sees keywords; clients compute trapdoors with :meth:`trapdoor` and the
+    server matches tokens blindly.
+    """
+
+    def __init__(self, search_key: SymmetricKey) -> None:
+        self._key = search_key.key_bytes
+        self._postings: dict[bytes, set[str]] = {}
+        self.searches = 0
+
+    def trapdoor(self, keyword: str) -> bytes:
+        """Client-side: the search token for ``keyword``."""
+        return hmac.new(self._key, b"kw:" + keyword.encode(),
+                        hashlib.sha256).digest()
+
+    def index_document(self, doc_id: str, keywords: Iterable[str]) -> None:
+        """Client-side at upload time: register the doc's keyword tokens."""
+        for keyword in keywords:
+            token = self.trapdoor(keyword)
+            self._postings.setdefault(token, set()).add(doc_id)
+
+    def search(self, token: bytes) -> set[str]:
+        """Server-side: match a trapdoor without learning the keyword."""
+        self.searches += 1
+        return set(self._postings.get(token, set()))
+
+    def search_keyword(self, keyword: str) -> set[str]:
+        """Convenience composition of trapdoor + search (client+server)."""
+        return self.search(self.trapdoor(keyword))

@@ -1,0 +1,120 @@
+"""Group signatures (API-faithful simulation).
+
+Abouyoussef et al. [3] build patient anonymity on group signatures: any
+group member can sign on behalf of the group; verifiers learn only that
+*some* member signed (anonymity) and cannot tell whether two signatures
+came from the same member (unlinkability); the group manager alone can
+*open* a signature to identify the signer (accountability).
+
+Simulation strategy: the manager holds a group MAC key.  A member's
+signature is ``(tag, pseudonym)`` where the tag is a MAC over the message
+under the group key, and the pseudonym is a fresh per-signature token the
+manager can map back to the member.  Verification uses only the group's
+public identity; the member registry lives inside the manager, preserving
+exactly the anonymity/opening split of the real primitive within one
+process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import PrivacyError
+from ..serialization import canonical_encode
+
+
+@dataclass(frozen=True)
+class GroupSignature:
+    """A signature attributable only to "some member of the group"."""
+
+    group_id: str
+    tag: bytes
+    pseudonym: bytes
+
+    def to_canonical(self) -> dict:
+        return {"group_id": self.group_id, "tag": self.tag,
+                "pseudonym": self.pseudonym}
+
+
+class GroupManager:
+    """Issues membership, verifies signatures, and opens them."""
+
+    def __init__(self, group_id: str, seed: Any = 0) -> None:
+        self.group_id = group_id
+        material = canonical_encode({"group": group_id, "seed": seed})
+        self._group_key = hashlib.sha256(b"gsk:" + material).digest()
+        self._members: dict[str, bytes] = {}        # member id -> member key
+        self._sign_counters: dict[str, int] = {}
+        self._opening_table: dict[bytes, str] = {}  # pseudonym -> member
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def enroll(self, member_id: str) -> None:
+        if member_id in self._members:
+            raise PrivacyError(f"{member_id} already enrolled")
+        member_key = hashlib.sha256(
+            b"gmk:" + self._group_key + member_id.encode()
+        ).digest()
+        self._members[member_id] = member_key
+        self._sign_counters[member_id] = 0
+
+    def is_member(self, member_id: str) -> bool:
+        return member_id in self._members
+
+    @property
+    def member_count(self) -> int:
+        return len(self._members)
+
+    # ------------------------------------------------------------------
+    # Signing / verification
+    # ------------------------------------------------------------------
+    def sign(self, member_id: str, message: Any) -> GroupSignature:
+        """Produce a signature as ``member_id`` (who must be enrolled)."""
+        member_key = self._members.get(member_id)
+        if member_key is None:
+            raise PrivacyError(f"{member_id} is not a group member")
+        counter = self._sign_counters[member_id]
+        self._sign_counters[member_id] = counter + 1
+        # Fresh pseudonym per signature -> unlinkability.
+        pseudonym = hashlib.sha256(
+            b"pseud:" + member_key + counter.to_bytes(8, "big")
+        ).digest()
+        self._opening_table[pseudonym] = member_id
+        tag = hmac.new(
+            self._group_key,
+            pseudonym + canonical_encode(message),
+            hashlib.sha256,
+        ).digest()
+        return GroupSignature(group_id=self.group_id, tag=tag,
+                              pseudonym=pseudonym)
+
+    def verify(self, message: Any, signature: GroupSignature) -> bool:
+        """Anyone holding the group's identity can verify; the signer's
+        identity is not revealed."""
+        if signature.group_id != self.group_id:
+            return False
+        expected = hmac.new(
+            self._group_key,
+            signature.pseudonym + canonical_encode(message),
+            hashlib.sha256,
+        ).digest()
+        return hmac.compare_digest(expected, signature.tag)
+
+    # ------------------------------------------------------------------
+    # Opening (manager-only de-anonymization)
+    # ------------------------------------------------------------------
+    def open(self, signature: GroupSignature) -> str:
+        """Reveal which member produced ``signature``."""
+        member = self._opening_table.get(signature.pseudonym)
+        if member is None:
+            raise PrivacyError("signature does not open to any member")
+        return member
+
+    def are_linkable(self, sig_a: GroupSignature, sig_b: GroupSignature) -> bool:
+        """What an outside observer can tell: only pseudonym equality —
+        which is never equal across two honest signatures."""
+        return sig_a.pseudonym == sig_b.pseudonym

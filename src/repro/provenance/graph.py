@@ -1,0 +1,314 @@
+"""The provenance DAG.
+
+Provenance points backwards in time: a generated entity points at the
+activity that generated it, an activity points at the entities it used.
+The graph is therefore acyclic by construction, and this class *enforces*
+that — an edge that would close a cycle is rejected, because a cyclic
+provenance story ("A was derived from B, which was derived from A") is
+logically meaningless and usually indicates forgery or a capture bug.
+
+Queries:
+
+* :meth:`lineage` — everything an artifact transitively came from
+  (Vassago's "provenance query" primitive);
+* :meth:`impact` — everything transitively derived from an artifact
+  (what SciLedger's invalidation mechanism must cascade over);
+* :meth:`derivation_chain` — the entity-only ancestry path;
+* :meth:`topological_order` — a replay schedule for workflow re-execution.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Callable, Iterable, Iterator
+
+from ..errors import CycleDetected, ProvenanceError, UnknownEntity
+from .model import (
+    LINEAGE_RELATIONS,
+    NodeKind,
+    ProvNode,
+    Relation,
+    RelationKind,
+    check_relation_signature,
+)
+
+
+class ProvenanceGraph:
+    """A typed, acyclic provenance graph."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, ProvNode] = {}
+        self._out: defaultdict[str, list[Relation]] = defaultdict(list)
+        self._in: defaultdict[str, list[Relation]] = defaultdict(list)
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: ProvNode) -> ProvNode:
+        """Add a node; re-adding the same id with different content fails."""
+        existing = self._nodes.get(node.node_id)
+        if existing is not None:
+            if existing != node:
+                raise ProvenanceError(
+                    f"node {node.node_id!r} already exists with different "
+                    "content; provenance nodes are immutable"
+                )
+            return existing
+        self._nodes[node.node_id] = node
+        return node
+
+    def add_entity(self, node_id: str, created_at: int = 0, **attrs) -> ProvNode:
+        from .model import entity
+
+        return self.add_node(entity(node_id, created_at, **attrs))
+
+    def add_activity(self, node_id: str, created_at: int = 0, **attrs) -> ProvNode:
+        from .model import activity
+
+        return self.add_node(activity(node_id, created_at, **attrs))
+
+    def add_agent(self, node_id: str, created_at: int = 0, **attrs) -> ProvNode:
+        from .model import agent
+
+        return self.add_node(agent(node_id, created_at, **attrs))
+
+    def relate(
+        self,
+        source: str,
+        kind: RelationKind,
+        target: str,
+        timestamp: int = 0,
+        **attributes,
+    ) -> Relation:
+        """Add a typed edge; validates node kinds and acyclicity."""
+        src = self._require(source)
+        dst = self._require(target)
+        check_relation_signature(kind, src.kind, dst.kind)
+        if source == target:
+            raise CycleDetected(f"self-loop on {source!r}")
+        if self._reaches(target, source):
+            raise CycleDetected(
+                f"edge {source!r} -> {target!r} ({kind.value}) would close "
+                "a cycle"
+            )
+        relation = Relation(source=source, target=target, kind=kind,
+                            attributes=attributes, timestamp=timestamp)
+        self._out[source].append(relation)
+        self._in[target].append(relation)
+        self._edge_count += 1
+        return relation
+
+    def _reaches(self, start: str, goal: str) -> bool:
+        """Is ``goal`` reachable from ``start`` along existing edges?"""
+        if start == goal:
+            return True
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for rel in self._out[current]:
+                nxt = rel.target
+                if nxt == goal:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return False
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def _require(self, node_id: str) -> ProvNode:
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise UnknownEntity(f"no provenance node {node_id!r}")
+        return node
+
+    def node(self, node_id: str) -> ProvNode:
+        return self._require(node_id)
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def nodes(self, kind: NodeKind | None = None) -> Iterator[ProvNode]:
+        for node in self._nodes.values():
+            if kind is None or node.kind == kind:
+                yield node
+
+    def edges(self, kind: RelationKind | None = None) -> Iterator[Relation]:
+        for relations in self._out.values():
+            for rel in relations:
+                if kind is None or rel.kind == kind:
+                    yield rel
+
+    def out_edges(self, node_id: str) -> list[Relation]:
+        self._require(node_id)
+        return list(self._out[node_id])
+
+    def in_edges(self, node_id: str) -> list[Relation]:
+        self._require(node_id)
+        return list(self._in[node_id])
+
+    # ------------------------------------------------------------------
+    # Traversals
+    # ------------------------------------------------------------------
+    def _walk(
+        self,
+        start: str,
+        edge_map: defaultdict[str, list[Relation]],
+        follow: Callable[[Relation], bool],
+        pick: Callable[[Relation], str],
+    ) -> list[str]:
+        self._require(start)
+        seen: set[str] = set()
+        order: list[str] = []
+        frontier = deque([start])
+        while frontier:
+            current = frontier.popleft()
+            for rel in edge_map[current]:
+                if not follow(rel):
+                    continue
+                nxt = pick(rel)
+                if nxt not in seen:
+                    seen.add(nxt)
+                    order.append(nxt)
+                    frontier.append(nxt)
+        return order
+
+    def lineage(
+        self,
+        node_id: str,
+        relations: Iterable[RelationKind] = LINEAGE_RELATIONS,
+    ) -> list[str]:
+        """Transitive origins of ``node_id`` (BFS order, excl. itself)."""
+        allowed = frozenset(relations)
+        return self._walk(
+            node_id,
+            self._out,
+            follow=lambda rel: rel.kind in allowed,
+            pick=lambda rel: rel.target,
+        )
+
+    def impact(
+        self,
+        node_id: str,
+        relations: Iterable[RelationKind] = LINEAGE_RELATIONS,
+    ) -> list[str]:
+        """Everything transitively built *from* ``node_id``.
+
+        This is the set an invalidation must cascade over: if the node is
+        found to be wrong, all of these are suspect.
+        """
+        allowed = frozenset(relations)
+        return self._walk(
+            node_id,
+            self._in,
+            follow=lambda rel: rel.kind in allowed,
+            pick=lambda rel: rel.source,
+        )
+
+    def derivation_chain(self, node_id: str) -> list[str]:
+        """Entity-only ancestry following ``WAS_DERIVED_FROM`` edges,
+        oldest last.  Raises if the node is not an entity."""
+        node = self._require(node_id)
+        if node.kind != NodeKind.ENTITY:
+            raise ProvenanceError("derivation chains start at entities")
+        chain = [node_id]
+        current = node_id
+        while True:
+            derived = [r for r in self._out[current]
+                       if r.kind == RelationKind.WAS_DERIVED_FROM]
+            if not derived:
+                break
+            # Deterministic choice when multiple parents exist.
+            derived.sort(key=lambda r: (r.timestamp, r.target))
+            current = derived[0].target
+            chain.append(current)
+        return chain
+
+    def generating_activity(self, entity_id: str) -> str | None:
+        """The activity that generated ``entity_id``, if recorded."""
+        for rel in self._out[entity_id]:
+            if rel.kind == RelationKind.WAS_GENERATED_BY:
+                return rel.target
+        return None
+
+    def attributed_agents(self, entity_id: str) -> list[str]:
+        self._require(entity_id)
+        return [r.target for r in self._out[entity_id]
+                if r.kind == RelationKind.WAS_ATTRIBUTED_TO]
+
+    def topological_order(self) -> list[str]:
+        """All nodes, dependencies (edge targets) first.
+
+        Since provenance edges point backwards in time, reversing a
+        standard Kahn order over out-edges yields a valid re-execution
+        schedule.
+        """
+        in_degree = {node_id: 0 for node_id in self._nodes}
+        for relations in self._out.values():
+            for rel in relations:
+                in_degree[rel.target] += 1
+        frontier = deque(sorted(
+            node_id for node_id, deg in in_degree.items() if deg == 0
+        ))
+        order: list[str] = []
+        while frontier:
+            current = frontier.popleft()
+            order.append(current)
+            for rel in sorted(self._out[current],
+                              key=lambda r: (r.target, r.kind.value)):
+                in_degree[rel.target] -= 1
+                if in_degree[rel.target] == 0:
+                    frontier.append(rel.target)
+        if len(order) != len(self._nodes):  # pragma: no cover - guarded by relate()
+            raise CycleDetected("graph contains a cycle")
+        order.reverse()
+        return order
+
+    # ------------------------------------------------------------------
+    # Subgraphs & export
+    # ------------------------------------------------------------------
+    def subgraph(self, node_ids: Iterable[str]) -> "ProvenanceGraph":
+        """The induced subgraph over ``node_ids``."""
+        wanted = set(node_ids)
+        sub = ProvenanceGraph()
+        for node_id in wanted:
+            sub.add_node(self._require(node_id))
+        for relations in self._out.values():
+            for rel in relations:
+                if rel.source in wanted and rel.target in wanted:
+                    sub._out[rel.source].append(rel)
+                    sub._in[rel.target].append(rel)
+                    sub._edge_count += 1
+        return sub
+
+    def lineage_subgraph(self, node_id: str) -> "ProvenanceGraph":
+        """The induced subgraph over a node and its full lineage."""
+        return self.subgraph([node_id, *self.lineage(node_id)])
+
+    def to_dict(self) -> dict:
+        """Canonical-encodable snapshot (what gets hashed/anchored)."""
+        return {
+            "nodes": [n.to_canonical()
+                      for n in sorted(self._nodes.values(),
+                                      key=lambda n: n.node_id)],
+            "edges": sorted(
+                (r.to_canonical() for rels in self._out.values() for r in rels),
+                key=lambda e: (e["source"], e["target"], e["kind"]),
+            ),
+        }
+
+    def digest(self) -> bytes:
+        from ..crypto.hashing import hash_canonical
+
+        return hash_canonical(self.to_dict())

@@ -1,0 +1,159 @@
+"""PROV-DM-style provenance model.
+
+The paper defines provenance as metadata describing "the origins, history,
+and evolution of an end product", spanning "data, processes, activities,
+and users" (§2.2).  The W3C PROV data model captures exactly this with
+three node kinds and a small set of relations; we implement the subset
+every surveyed system's model reduces to, plus the *invalidation* relation
+SciBlock/SciLedger add for workflow re-execution.
+
+Node kinds
+----------
+* **Entity** — a data artifact (file version, dataset, evidence item).
+* **Activity** — a process that uses and generates entities.
+* **Agent** — a user, organization, or software component bearing
+  responsibility.
+
+Relations (source kind → target kind)
+-------------------------------------
+* ``WAS_GENERATED_BY``   entity → activity
+* ``USED``               activity → entity
+* ``WAS_DERIVED_FROM``   entity → entity
+* ``WAS_ATTRIBUTED_TO``  entity → agent
+* ``WAS_ASSOCIATED_WITH`` activity → agent
+* ``WAS_INFORMED_BY``    activity → activity
+* ``ACTED_ON_BEHALF_OF`` agent → agent
+* ``WAS_INVALIDATED_BY`` entity → activity
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Mapping
+
+from ..crypto.hashing import DOMAIN_RECORD, hash_canonical
+from ..errors import ProvenanceError
+
+
+class NodeKind(str, Enum):
+    ENTITY = "entity"
+    ACTIVITY = "activity"
+    AGENT = "agent"
+
+
+class RelationKind(str, Enum):
+    WAS_GENERATED_BY = "wasGeneratedBy"
+    USED = "used"
+    WAS_DERIVED_FROM = "wasDerivedFrom"
+    WAS_ATTRIBUTED_TO = "wasAttributedTo"
+    WAS_ASSOCIATED_WITH = "wasAssociatedWith"
+    WAS_INFORMED_BY = "wasInformedBy"
+    ACTED_ON_BEHALF_OF = "actedOnBehalfOf"
+    WAS_INVALIDATED_BY = "wasInvalidatedBy"
+
+
+# Allowed (source_kind, target_kind) per relation.
+RELATION_SIGNATURES: dict[RelationKind, tuple[NodeKind, NodeKind]] = {
+    RelationKind.WAS_GENERATED_BY: (NodeKind.ENTITY, NodeKind.ACTIVITY),
+    RelationKind.USED: (NodeKind.ACTIVITY, NodeKind.ENTITY),
+    RelationKind.WAS_DERIVED_FROM: (NodeKind.ENTITY, NodeKind.ENTITY),
+    RelationKind.WAS_ATTRIBUTED_TO: (NodeKind.ENTITY, NodeKind.AGENT),
+    RelationKind.WAS_ASSOCIATED_WITH: (NodeKind.ACTIVITY, NodeKind.AGENT),
+    RelationKind.WAS_INFORMED_BY: (NodeKind.ACTIVITY, NodeKind.ACTIVITY),
+    RelationKind.ACTED_ON_BEHALF_OF: (NodeKind.AGENT, NodeKind.AGENT),
+    RelationKind.WAS_INVALIDATED_BY: (NodeKind.ENTITY, NodeKind.ACTIVITY),
+}
+
+# Relations along which "where did this come from?" (lineage) flows.
+LINEAGE_RELATIONS = frozenset({
+    RelationKind.WAS_GENERATED_BY,
+    RelationKind.USED,
+    RelationKind.WAS_DERIVED_FROM,
+    RelationKind.WAS_INFORMED_BY,
+})
+
+
+@dataclass(frozen=True)
+class ProvNode:
+    """A node in the provenance graph."""
+
+    node_id: str
+    kind: NodeKind
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+    created_at: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ProvenanceError("node_id must be non-empty")
+
+    def to_canonical(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "kind": self.kind.value,
+            "attributes": dict(self.attributes),
+            "created_at": self.created_at,
+        }
+
+    def digest(self) -> bytes:
+        return hash_canonical(self.to_canonical(), DOMAIN_RECORD)
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        return self.attributes.get(key, default)
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A typed edge ``source --kind--> target``."""
+
+    source: str
+    target: str
+    kind: RelationKind
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+    timestamp: int = 0
+
+    def to_canonical(self) -> dict:
+        return {
+            "source": self.source,
+            "target": self.target,
+            "kind": self.kind.value,
+            "attributes": dict(self.attributes),
+            "timestamp": self.timestamp,
+        }
+
+    def digest(self) -> bytes:
+        return hash_canonical(self.to_canonical(), DOMAIN_RECORD)
+
+
+def check_relation_signature(
+    kind: RelationKind, source_kind: NodeKind, target_kind: NodeKind
+) -> None:
+    """Raise :class:`ProvenanceError` when the edge typing is illegal."""
+    expected = RELATION_SIGNATURES[kind]
+    if (source_kind, target_kind) != expected:
+        raise ProvenanceError(
+            f"{kind.value} must connect {expected[0].value} -> "
+            f"{expected[1].value}, got {source_kind.value} -> "
+            f"{target_kind.value}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+def entity(node_id: str, created_at: int = 0, **attributes: Any) -> ProvNode:
+    """Build an entity node."""
+    return ProvNode(node_id=node_id, kind=NodeKind.ENTITY,
+                    attributes=attributes, created_at=created_at)
+
+
+def activity(node_id: str, created_at: int = 0, **attributes: Any) -> ProvNode:
+    """Build an activity node."""
+    return ProvNode(node_id=node_id, kind=NodeKind.ACTIVITY,
+                    attributes=attributes, created_at=created_at)
+
+
+def agent(node_id: str, created_at: int = 0, **attributes: Any) -> ProvNode:
+    """Build an agent node."""
+    return ProvNode(node_id=node_id, kind=NodeKind.AGENT,
+                    attributes=attributes, created_at=created_at)

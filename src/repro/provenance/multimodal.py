@@ -1,0 +1,174 @@
+"""Multi-modal data tokenization (paper §6.2 future work).
+
+"Another important topic is managing multi-modal data, which includes
+various types such as text, images, and videos.  Different data types
+require unique tokenization and methods to ensure their uniqueness,
+essential for accurate provenance tracking."
+
+Each modality gets a tokenizer that reduces the raw artifact to a
+*canonical token set* plus a digest:
+
+* **text** — normalized (case/whitespace-folded) content hash plus
+  shingled token digests, so reformatted copies of the same text map to
+  the same identity while edits are localized;
+* **image** — a perceptual-style block-mean signature over the decoded
+  byte grid (synthetic stand-in for pHash), robust to byte-level
+  re-encoding of identical pixel content;
+* **video** — per-segment digests over fixed windows plus a rolling
+  signature, so a clipped segment can be matched to its source;
+* **binary** — plain content hash (the fallback).
+
+The :class:`MultiModalTokenizer` registry picks by declared modality and
+produces :class:`ModalToken` records that drop straight into the capture
+pipeline, giving every artifact a modality-aware, deduplicatable
+identity (the "uniqueness" requirement).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ProvenanceError
+
+
+@dataclass(frozen=True)
+class ModalToken:
+    """The modality-aware identity of one artifact."""
+
+    modality: str
+    digest: bytes                     # primary identity
+    feature_digests: tuple[bytes, ...] = ()   # sub-identities for matching
+
+    @property
+    def token_id(self) -> str:
+        return f"{self.modality}:{self.digest.hex()[:24]}"
+
+    def similarity(self, other: "ModalToken") -> float:
+        """Fraction of shared feature digests (0 when modalities differ)."""
+        if self.modality != other.modality:
+            return 0.0
+        if not self.feature_digests or not other.feature_digests:
+            return 1.0 if self.digest == other.digest else 0.0
+        mine = set(self.feature_digests)
+        theirs = set(other.feature_digests)
+        union = mine | theirs
+        if not union:
+            return 0.0
+        return len(mine & theirs) / len(union)
+
+
+def _digest(data: bytes, tag: bytes) -> bytes:
+    return hashlib.sha256(tag + data).digest()
+
+
+# ---------------------------------------------------------------------------
+# Tokenizers
+# ---------------------------------------------------------------------------
+def tokenize_text(content: bytes, shingle_words: int = 4) -> ModalToken:
+    """Normalize and shingle text so formatting changes do not change
+    identity but edits are detectable and localizable."""
+    try:
+        text = content.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProvenanceError(f"not valid utf-8 text: {exc}") from exc
+    words = text.lower().split()
+    normalized = " ".join(words).encode()
+    shingles = []
+    for i in range(max(1, len(words) - shingle_words + 1)):
+        window = " ".join(words[i:i + shingle_words]).encode()
+        shingles.append(_digest(window, b"txt-sh"))
+    return ModalToken(
+        modality="text",
+        digest=_digest(normalized, b"txt"),
+        feature_digests=tuple(shingles),
+    )
+
+
+def tokenize_image(content: bytes, grid: int = 8) -> ModalToken:
+    """Block-mean signature over the byte grid (perceptual-hash
+    stand-in): identical 'pixel' content re-wrapped in a different
+    container keeps its identity."""
+    if not content:
+        raise ProvenanceError("empty image")
+    block_size = max(1, len(content) // (grid * grid))
+    means = []
+    for i in range(grid * grid):
+        block = content[i * block_size:(i + 1) * block_size]
+        if block:
+            means.append(sum(block) // len(block))
+        else:
+            means.append(0)
+    signature = bytes(means)
+    features = tuple(
+        _digest(signature[i:i + grid], b"img-row") for i in
+        range(0, len(signature), grid)
+    )
+    return ModalToken(
+        modality="image",
+        digest=_digest(signature, b"img"),
+        feature_digests=features,
+    )
+
+
+def tokenize_video(content: bytes, segment_bytes: int = 1024) -> ModalToken:
+    """Per-segment digests: a clip excised from the source shares the
+    source's segment features, so lineage can be established."""
+    if not content:
+        raise ProvenanceError("empty video")
+    segments = tuple(
+        _digest(content[i:i + segment_bytes], b"vid-seg")
+        for i in range(0, len(content), segment_bytes)
+    )
+    return ModalToken(
+        modality="video",
+        digest=_digest(b"".join(segments), b"vid"),
+        feature_digests=segments,
+    )
+
+
+def tokenize_binary(content: bytes) -> ModalToken:
+    return ModalToken(modality="binary", digest=_digest(content, b"bin"))
+
+
+Tokenizer = Callable[[bytes], ModalToken]
+
+
+@dataclass
+class MultiModalTokenizer:
+    """Registry dispatching artifacts to modality tokenizers."""
+
+    tokenizers: dict = field(default_factory=lambda: {
+        "text": tokenize_text,
+        "image": tokenize_image,
+        "video": tokenize_video,
+        "binary": tokenize_binary,
+    })
+
+    def register(self, modality: str, tokenizer: Tokenizer) -> None:
+        self.tokenizers[modality] = tokenizer
+
+    def tokenize(self, modality: str, content: bytes) -> ModalToken:
+        tokenizer = self.tokenizers.get(modality)
+        if tokenizer is None:
+            raise ProvenanceError(
+                f"no tokenizer for modality {modality!r}; "
+                f"known: {sorted(self.tokenizers)}"
+            )
+        return tokenizer(content)
+
+    def to_record_fields(self, modality: str, content: bytes) -> dict:
+        """Fields ready to merge into a provenance record."""
+        token = self.tokenize(modality, content)
+        return {
+            "modality": token.modality,
+            "token_id": token.token_id,
+            "feature_count": len(token.feature_digests),
+        }
+
+    def match(self, modality: str, a: bytes, b: bytes) -> float:
+        """Similarity of two artifacts of the same modality."""
+        return self.tokenize(modality, a).similarity(
+            self.tokenize(modality, b)
+        )

@@ -1,0 +1,110 @@
+"""Canonical serialization for hashing and signing.
+
+Blockchain integrity rests on every node hashing *exactly* the same bytes
+for the same logical value.  Python's ``repr``/``str`` are not stable enough
+(dict ordering, float formatting), so this module defines a small canonical
+encoding:
+
+* deterministic — independent of insertion order and interning,
+* typed — ``1`` and ``"1"`` and ``True`` encode differently,
+* closed — only JSON-ish types plus ``bytes`` are accepted; anything else
+  raises :class:`~repro.errors.SerializationError` rather than silently
+  producing an unstable encoding.
+
+The encoding is a type-tagged, length-prefixed byte string, similar in
+spirit to bencoding / RFC 8785 (JSON Canonicalization Scheme) but simpler
+because we control both producer and consumer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from .errors import SerializationError
+
+_CANONICAL_TYPES = (
+    type(None),
+    bool,
+    int,
+    float,
+    str,
+    bytes,
+)
+
+
+def canonical_encode(value: Any) -> bytes:
+    """Encode ``value`` into canonical bytes.
+
+    Accepted types: ``None``, ``bool``, ``int``, ``float``, ``str``,
+    ``bytes``, and (nested) sequences (``list``/``tuple``) and mappings
+    with string keys.  Mappings are encoded with keys sorted
+    lexicographically, so two dicts with the same items always encode
+    identically.
+
+    >>> canonical_encode({"b": 1, "a": 2}) == canonical_encode({"a": 2, "b": 1})
+    True
+    >>> canonical_encode(1) == canonical_encode("1")
+    False
+    """
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    # bool must be tested before int (bool is an int subclass).
+    if value is None:
+        out += b"N"
+    elif isinstance(value, bool):
+        out += b"T" if value else b"F"
+    elif isinstance(value, int):
+        body = str(value).encode("ascii")
+        out += b"i%d:" % len(body)
+        out += body
+    elif isinstance(value, float):
+        # repr() of a float is the shortest string that round-trips in
+        # CPython (PEP 3101 era guarantee), which makes it canonical for
+        # our single-implementation purposes.
+        body = repr(value).encode("ascii")
+        out += b"f%d:" % len(body)
+        out += body
+    elif isinstance(value, str):
+        body = value.encode("utf-8")
+        out += b"s%d:" % len(body)
+        out += body
+    elif isinstance(value, (bytes, bytearray)):
+        out += b"b%d:" % len(value)
+        out += bytes(value)
+    elif isinstance(value, Mapping):
+        items = []
+        for key in value:
+            if not isinstance(key, str):
+                raise SerializationError(
+                    f"mapping keys must be str, got {type(key).__name__}"
+                )
+            items.append(key)
+        items.sort()
+        out += b"d%d:" % len(items)
+        for key in items:
+            _encode_into(key, out)
+            _encode_into(value[key], out)
+        out += b"e"
+    elif isinstance(value, Sequence):
+        out += b"l%d:" % len(value)
+        for item in value:
+            _encode_into(item, out)
+        out += b"e"
+    else:
+        # Objects may opt in by providing a to_canonical() mapping.
+        to_canonical = getattr(value, "to_canonical", None)
+        if callable(to_canonical):
+            _encode_into(to_canonical(), out)
+            return
+        raise SerializationError(
+            f"cannot canonically encode {type(value).__name__}"
+        )
+
+
+def canonical_hex(value: Any) -> str:
+    """Hex rendering of the canonical encoding (useful in test output)."""
+    return canonical_encode(value).hex()

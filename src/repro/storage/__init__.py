@@ -1,0 +1,19 @@
+"""Off-chain storage substrates.
+
+The surveyed systems keep bulky data off-chain and anchor only hashes:
+IPFS ([33], HealthBlock, Ahmed et al.) and cloud object stores
+(ProvChain's OpenStack Swift).  This package provides both, plus the
+indexed provenance database the query layer runs against.
+"""
+
+from .cas import ContentAddressedStore, CID
+from .cloudstore import CloudObjectStore, StoreOperation
+from .provdb import ProvenanceDatabase
+
+__all__ = [
+    "ContentAddressedStore",
+    "CID",
+    "CloudObjectStore",
+    "StoreOperation",
+    "ProvenanceDatabase",
+]

@@ -1,0 +1,134 @@
+"""Indexed off-chain provenance database.
+
+The query-side store: provenance records live here in full, indexed by
+id, subject, actor, operation, and time range, while the chain holds only
+batch anchors.  The query engine (:mod:`repro.provenance.query`) answers
+from this database and *verifies* answers against the chain anchors.
+
+Deliberately implemented as explicit inverted indexes over an append-only
+record list — the structures a real deployment would get from its RDBMS,
+made visible so the scan-vs-index ablation (EVAL-QUERY) measures something
+honest.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from collections import defaultdict
+from typing import Any, Callable, Iterator, Mapping
+
+from ..errors import QueryError, UnknownEntity
+
+
+class ProvenanceDatabase:
+    """Append-only record store with inverted indexes."""
+
+    def __init__(self) -> None:
+        self._records: list[dict] = []
+        self._by_id: dict[str, int] = {}
+        self._by_subject: defaultdict[str, list[int]] = defaultdict(list)
+        self._by_actor: defaultdict[str, list[int]] = defaultdict(list)
+        self._by_operation: defaultdict[str, list[int]] = defaultdict(list)
+        # (timestamp, position) pairs kept sorted for range queries.
+        self._by_time: list[tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def insert(self, record: Mapping[str, Any]) -> int:
+        """Insert a record dict; returns its position.
+
+        Required fields: ``record_id``; indexed when present: ``subject``
+        (the data artifact), ``actor`` (who acted), ``operation``,
+        ``timestamp``.
+        """
+        record_id = record.get("record_id")
+        if not record_id:
+            raise QueryError("record needs a record_id")
+        if record_id in self._by_id:
+            raise QueryError(f"duplicate record_id {record_id!r}")
+        position = len(self._records)
+        stored = dict(record)
+        self._records.append(stored)
+        self._by_id[str(record_id)] = position
+        subject = stored.get("subject")
+        if subject:
+            self._by_subject[str(subject)].append(position)
+        actor = stored.get("actor")
+        if actor:
+            self._by_actor[str(actor)].append(position)
+        operation = stored.get("operation")
+        if operation:
+            self._by_operation[str(operation)].append(position)
+        timestamp = stored.get("timestamp")
+        if timestamp is not None:
+            insort(self._by_time, (int(timestamp), position))
+        return position
+
+    def insert_many(self, records) -> int:
+        count = 0
+        for record in records:
+            self.insert(record)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Point & indexed lookups
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, record_id: str) -> dict:
+        position = self._by_id.get(record_id)
+        if position is None:
+            raise UnknownEntity(f"no record {record_id!r}")
+        return dict(self._records[position])
+
+    def contains(self, record_id: str) -> bool:
+        return record_id in self._by_id
+
+    def by_subject(self, subject: str) -> list[dict]:
+        return [dict(self._records[i]) for i in self._by_subject.get(subject, [])]
+
+    def by_actor(self, actor: str) -> list[dict]:
+        return [dict(self._records[i]) for i in self._by_actor.get(actor, [])]
+
+    def by_operation(self, operation: str) -> list[dict]:
+        return [dict(self._records[i])
+                for i in self._by_operation.get(operation, [])]
+
+    def by_time_range(self, start: int, end: int) -> list[dict]:
+        """Records with ``start <= timestamp < end`` (index-assisted)."""
+        lo = bisect_left(self._by_time, (start, -1))
+        hi = bisect_right(self._by_time, (end - 1, len(self._records)))
+        return [dict(self._records[pos]) for _, pos in self._by_time[lo:hi]]
+
+    # ------------------------------------------------------------------
+    # Full scans (the baseline the index ablation compares against)
+    # ------------------------------------------------------------------
+    def scan(self, predicate: Callable[[dict], bool]) -> list[dict]:
+        return [dict(r) for r in self._records if predicate(r)]
+
+    def scan_subject(self, subject: str) -> list[dict]:
+        """Unindexed equivalent of :meth:`by_subject`."""
+        return self.scan(lambda r: r.get("subject") == subject)
+
+    # ------------------------------------------------------------------
+    # Iteration & maintenance
+    # ------------------------------------------------------------------
+    def records(self) -> Iterator[dict]:
+        for record in self._records:
+            yield dict(record)
+
+    def annotate(self, record_id: str, **fields: Any) -> None:
+        """Attach non-indexed metadata (e.g. anchor references) in place."""
+        position = self._by_id.get(record_id)
+        if position is None:
+            raise UnknownEntity(f"no record {record_id!r}")
+        self._records[position].update(fields)
+
+    @property
+    def approximate_size_bytes(self) -> int:
+        from ..serialization import canonical_encode
+
+        return sum(len(canonical_encode(r)) for r in self._records)

@@ -1,0 +1,59 @@
+"""Reference implementations of the surveyed systems.
+
+RQ1 (single entity):
+    * :class:`~repro.systems.provchain.ProvChain` — cloud-storage
+      provenance with blockchain anchoring [47];
+    * :class:`~repro.systems.blockcloud.BlockCloud` — the PoS variant
+      [75];
+    * :class:`~repro.systems.ipfs_provenance.IPFSProvenance` — IPFS +
+      chain provenance [33].
+
+RQ2 (intra-chain collaboration):
+    * :class:`~repro.systems.sciledger.SciLedger` — scientific workflow
+      provenance with invalidation [36];
+    * :class:`~repro.systems.forensiblock.ForensiBlock` — forensic stages
+      with access control and a distributed Merkle tree [12];
+    * :class:`~repro.systems.privchain.PrivChain` — supply-chain ZKRPs
+      with automated incentives [52];
+    * :class:`~repro.systems.ledgerview.LedgerViewSystem` — access-control
+      views [66].
+
+RQ3 (multi-chain):
+    * :class:`~repro.systems.synergychain.SynergyChain` — three-tier
+      multichain data sharing [21];
+    * :class:`~repro.systems.vassago.Vassago` — dependency-guided
+      authenticated cross-chain provenance queries [31];
+    * :class:`~repro.systems.forensicross.ForensiCross` — cross-chain
+      digital forensics over a bridge chain [11].
+"""
+
+from .provchain import CloudProvenanceSystem, ProvChain
+from .blockcloud import BlockCloud
+from .ipfs_provenance import IPFSProvenance
+from .sciledger import SciLedger
+from .forensiblock import ForensiBlock
+from .privchain import PrivChain
+from .ledgerview import LedgerViewSystem
+from .synergychain import SynergyChain
+from .vassago import Vassago, TrustedQueryEnclave
+from .forensicross import ForensiCross
+from .eochain import EOChain, EOGranule
+from .pandemic import PandemicPlatform
+
+__all__ = [
+    "CloudProvenanceSystem",
+    "ProvChain",
+    "BlockCloud",
+    "IPFSProvenance",
+    "SciLedger",
+    "ForensiBlock",
+    "PrivChain",
+    "LedgerViewSystem",
+    "SynergyChain",
+    "Vassago",
+    "TrustedQueryEnclave",
+    "ForensiCross",
+    "EOChain",
+    "EOGranule",
+    "PandemicPlatform",
+]

@@ -1,0 +1,38 @@
+"""BlockCloud [75]: PoS-based cloud provenance.
+
+"It implements a PoS consensus mechanism to decrease computational
+requirements compared to traditional PoW consensus" — the entire delta
+from ProvChain is the sealing engine, which is precisely how this module
+expresses it.  The EVAL-CONS bench quantifies the work gap.
+"""
+
+from __future__ import annotations
+
+from ..clock import SimClock
+from ..consensus.pos import ProofOfStake, Validator
+from .provchain import CloudProvenanceSystem
+
+
+class BlockCloud(CloudProvenanceSystem):
+    """Cloud provenance sealed by a stake-weighted validator set."""
+
+    def __init__(
+        self,
+        validators: list[Validator] | None = None,
+        clock: SimClock | None = None,
+        batch_size: int = 16,
+    ) -> None:
+        if validators is None:
+            validators = [
+                Validator(validator_id=f"staker-{i}", stake=10 + 5 * i)
+                for i in range(4)
+            ]
+        super().__init__(
+            engine=ProofOfStake(validators),
+            clock=clock,
+            chain_id="blockcloud",
+            batch_size=batch_size,
+            pseudonymize=True,
+            visibility="consortium",
+        )
+        self.validators = list(validators)

@@ -1,0 +1,195 @@
+"""ForensiCross [11]: cross-chain digital forensics collaboration.
+
+"The first cross-chain solution for digital forensics, uses BridgeChain
+to facilitate interactions between private blockchains via a novel
+communication protocol.  It ensures logging, access control, provenance
+extraction, and synchronization of investigative stages.  Nodes validate
+transactions across blockchains, requiring unanimous agreement for
+progression. ... Provenance is verified through a novel Merkle tree
+construction."
+
+Composition:
+
+* each organization runs a full :class:`~repro.systems.forensiblock.ForensiBlock`
+  (private chain, stage machine, RBAC, case forest);
+* a :class:`~repro.crosschain.bridge.BridgeChain` with **unanimous**
+  validation connects them;
+* **evidence sharing** ships an evidence record plus its forest proof
+  over the bridge; the receiver verifies against the sender's case-forest
+  root before admitting it;
+* **stage synchronization** advances the mirrored case on every member
+  org only when the bridge message commits (unanimity = every org's
+  validator signed off on the progression);
+* **cross-chain provenance extraction** assembles both orgs' case
+  records, each verified against its home chain's anchors.
+"""
+
+from __future__ import annotations
+
+from ..clock import SimClock
+from ..crosschain.bridge import BridgeChain
+from ..crypto.distributed_merkle import CaseForest, ForestProof
+from ..errors import BridgeError, CustodyError
+from .forensiblock import ForensiBlock
+
+
+class ForensiCross:
+    """Multiple ForensiBlock deployments joined by a unanimous bridge."""
+
+    def __init__(self, org_ids: list[str],
+                 clock: SimClock | None = None) -> None:
+        if len(org_ids) < 2:
+            raise ValueError("ForensiCross needs at least two organizations")
+        self.clock = clock or SimClock()
+        self.orgs: dict[str, ForensiBlock] = {
+            org: ForensiBlock([org], clock=self.clock) for org in org_ids
+        }
+        self.bridge = BridgeChain(
+            self.clock,
+            validator_ids=[f"bridge-val-{org}" for org in org_ids],
+            unanimous=True,
+        )
+        for org, system in self.orgs.items():
+            self.bridge.connect(system.chain)
+        self.evidence_shared = 0
+        self.stage_syncs = 0
+
+    # ------------------------------------------------------------------
+    # Joint cases
+    # ------------------------------------------------------------------
+    def open_joint_case(self, case_number: str,
+                        leads: dict[str, str]) -> None:
+        """Open the same case number at every org (each with its lead)."""
+        for org, system in self.orgs.items():
+            lead = leads.get(org)
+            if lead is None:
+                raise CustodyError(f"no lead investigator named for {org}")
+            system.assign_role(lead, "lead_investigator")
+            system.open_case(case_number, lead)
+
+    def sync_stage(self, case_number: str, actors: dict[str, str]) -> str:
+        """Advance the case's stage at every org, through the bridge.
+
+        The progression is first agreed on the bridge (unanimous
+        validators), then applied locally everywhere — the ForensiCross
+        rule that no org's investigation runs ahead of the others.
+        """
+        org_ids = sorted(self.orgs)
+        outcome = self.bridge.send(
+            self.orgs[org_ids[0]].chain.chain_id,
+            self.orgs[org_ids[1]].chain.chain_id,
+            kind="stage_sync",
+            payload={"case_number": case_number},
+        )
+        if not outcome.completed:
+            raise BridgeError(
+                "stage sync rejected: unanimity not reached "
+                f"({outcome.extra.get('endorsements')}/"
+                f"{outcome.extra.get('required')})"
+            )
+        new_stage = ""
+        for org, system in self.orgs.items():
+            stage = system.advance_stage(case_number, actors[org])
+            new_stage = stage.value
+        self.stage_syncs += 1
+        return new_stage
+
+    # ------------------------------------------------------------------
+    # Evidence sharing
+    # ------------------------------------------------------------------
+    def share_evidence(self, case_number: str, from_org: str, to_org: str,
+                       evidence_id: str, actor: str) -> bool:
+        """Ship one evidence item's record + forest proof over the bridge.
+
+        The receiving org verifies the proof against the sender's
+        case-forest root (the "novel Merkle tree construction"
+        verification) before admitting the evidence reference.
+        """
+        sender = self.orgs[from_org]
+        receiver = self.orgs[to_org]
+        case = sender.cases.cases[case_number]
+        item = case.evidence.get(evidence_id)
+        if item is None:
+            raise CustodyError(f"{from_org} holds no evidence {evidence_id!r}")
+        # Find the forest entry for the collection of this evidence.
+        stage = None
+        index = None
+        for stage_name in case.forest.stages:
+            size = case.forest.stage_size(stage_name)
+            for i in range(size):
+                # Proof indices are per stage; match by re-deriving the
+                # collection record.
+                candidate = {
+                    "evidence_id": evidence_id,
+                    "content_hash": item.content_hash,
+                    "actor": item.collected_by,
+                    "timestamp": item.collected_at,
+                }
+                proof = case.forest.prove(stage_name, i)
+                if CaseForest.verify_against(case.forest.root, candidate,
+                                             proof):
+                    stage, index = stage_name, i
+                    break
+            if stage is not None:
+                break
+        if stage is None:
+            raise CustodyError(
+                f"evidence {evidence_id!r} has no forest entry"
+            )
+        proof: ForestProof = case.forest.prove(stage, index)
+        payload = {
+            "case_number": case_number,
+            "evidence_id": evidence_id,
+            "content_hash": item.content_hash,
+            "collected_by": item.collected_by,
+            "collected_at": item.collected_at,
+            "forest_root": case.forest.root,
+            "stage": stage,
+        }
+        outcome = self.bridge.send(
+            sender.chain.chain_id, receiver.chain.chain_id,
+            kind="evidence_share", payload=payload,
+        )
+        if not outcome.completed:
+            return False
+        # Receiver-side verification against the claimed root.
+        candidate = {
+            "evidence_id": evidence_id,
+            "content_hash": item.content_hash,
+            "actor": item.collected_by,
+            "timestamp": item.collected_at,
+        }
+        if not CaseForest.verify_against(payload["forest_root"],
+                                         candidate, proof):
+            raise BridgeError("received evidence failed forest verification")
+        self.evidence_shared += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Cross-chain provenance extraction
+    # ------------------------------------------------------------------
+    def extract_cross_chain(self, case_number: str,
+                            requesters: dict[str, str]) -> dict:
+        """A combined, per-org-verified bundle for a joint case."""
+        bundles = {}
+        for org, system in self.orgs.items():
+            bundle = system.extract_case(case_number, requesters[org])
+            bundle["verified"] = ForensiBlock.verify_extraction(
+                bundle, system.anchors
+            )
+            bundles[org] = bundle
+        return {
+            "case_number": case_number,
+            "organizations": bundles,
+            "bridge_messages": self.bridge.messages_committed,
+            "all_verified": all(b["verified"] for b in bundles.values()),
+        }
+
+    # ------------------------------------------------------------------
+    def block_org(self, org: str) -> None:
+        """Failure injection: one org's bridge validator stops endorsing
+        (unanimity then blocks all progression — by design)."""
+        self.bridge.set_validator_honesty(f"bridge-val-{org}", False)
+
+    def unblock_org(self, org: str) -> None:
+        self.bridge.set_validator_honesty(f"bridge-val-{org}", True)

@@ -1,0 +1,183 @@
+"""Pandemic diagnostic platform (Abouyoussef et al. [3], paper §4.3).
+
+"Enables remote collection of symptoms, accurate diagnostics, and secure
+data sharing … ensures privacy through group signature and random
+numbers, supporting anonymity and data unlinkability.  A deep neural
+network based detector, implemented as a smart contract, enables
+automatic diagnostics … healthcare entities access symptom and diagnosis
+data through a consortium-based blockchain architecture."
+
+Composition:
+
+* patients enroll in a **signature group**; every symptom submission is
+  group-signed — verifiers learn "a registered patient", never which
+  one, and two submissions are unlinkable;
+* the **detector** is a contract: a transparent scoring rule over the
+  symptom vector standing in for the paper's DNN (same interface:
+  symptoms in, diagnosis + confidence out, executed on-chain);
+* submissions and diagnoses land on a consortium (PoA) chain; health
+  authorities query aggregate statistics without identities, and the
+  group manager alone can open a signature under due process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chain import Blockchain, ChainParams, Transaction, TxKind
+from ..clock import SimClock
+from ..consensus.poa import ProofOfAuthority
+from ..contracts import Contract, ContractRuntime, call_payload, deploy_payload, method, view
+from ..errors import DomainError, PrivacyError
+from ..privacy.groupsig import GroupManager, GroupSignature
+
+# The symptom vector layout the detector scores (fever, cough, fatigue,
+# anosmia, dyspnea) — integer severities 0..3.
+SYMPTOM_NAMES = ("fever", "cough", "fatigue", "anosmia", "dyspnea")
+
+
+class DiagnosticDetector(Contract):
+    """The on-chain 'DNN' detector: weighted scoring with a threshold.
+
+    Weights are fixed at deployment (the trained model); execution is
+    deterministic and auditable — which is the point of putting the
+    detector on-chain.
+    """
+
+    def setup(self, weights: list | None = None,
+              threshold: int = 6) -> None:
+        self.storage.set("weights", list(weights or [3, 2, 1, 4, 3]))
+        self.storage.set("threshold", int(threshold))
+        self.storage.set("count:positive", 0)
+        self.storage.set("count:negative", 0)
+
+    @method
+    def diagnose(self, symptoms: list) -> dict:
+        """Score a symptom vector; records only the aggregate tally."""
+        self.charge(2)
+        weights = self.storage.get("weights")
+        self.require(len(symptoms) == len(weights),
+                     f"expected {len(weights)} symptom severities")
+        score = sum(int(s) * int(w) for s, w in zip(symptoms, weights))
+        threshold = int(self.storage.get("threshold"))
+        positive = score >= threshold
+        key = "count:positive" if positive else "count:negative"
+        self.storage.set(key, int(self.storage.get(key, 0)) + 1)
+        confidence_pct = min(100, 50 + abs(score - threshold) * 5)
+        self.emit("diagnosis", positive=positive, score=score)
+        return {"positive": positive, "score": score,
+                "confidence_pct": confidence_pct}
+
+    @view
+    def tally(self) -> dict:
+        self.charge(1)
+        return {"positive": int(self.storage.get("count:positive", 0)),
+                "negative": int(self.storage.get("count:negative", 0))}
+
+
+@dataclass(frozen=True)
+class SubmissionReceipt:
+    """What the patient gets back."""
+
+    submission_id: str
+    positive: bool
+    confidence_pct: int
+
+
+class PandemicPlatform:
+    """Anonymous symptom collection + on-chain automatic diagnostics."""
+
+    def __init__(self, health_authorities: list[str],
+                 clock: SimClock | None = None) -> None:
+        if not health_authorities:
+            raise DomainError("need at least one health authority")
+        self.clock = clock or SimClock()
+        self.chain = Blockchain(ChainParams(chain_id="pandemic",
+                                            visibility="consortium"))
+        self.engine = ProofOfAuthority(health_authorities)
+        self.runtime = ContractRuntime()
+        self.runtime.register(DiagnosticDetector)
+        self.runtime.attach(self.chain)
+        deploy = Transaction(
+            sender=health_authorities[0], kind=TxKind.CONTRACT_DEPLOY,
+            payload=deploy_payload("DiagnosticDetector"),
+        )
+        block, _ = self.engine.seal(self.chain, [deploy],
+                                    timestamp=self.clock.now())
+        receipts = self.chain.append_block(block)
+        self.detector_address = receipts[0].output
+        self.group = GroupManager("patients")
+        self._counter = 0
+        self.rejected_submissions = 0
+
+    # ------------------------------------------------------------------
+    # Enrollment & submission
+    # ------------------------------------------------------------------
+    def enroll_patient(self, patient_id: str) -> None:
+        self.group.enroll(patient_id)
+
+    def submit_symptoms(self, patient_id: str,
+                        severities: dict[str, int]) -> SubmissionReceipt:
+        """A patient submits a group-signed symptom vector.
+
+        The chain sees the signature's pseudonym, never the patient id;
+        two submissions by the same patient are unlinkable.
+        """
+        vector = [int(severities.get(name, 0)) for name in SYMPTOM_NAMES]
+        if any(not 0 <= s <= 3 for s in vector):
+            raise DomainError("severities must be 0..3")
+        signature = self.group.sign(patient_id, {"symptoms": vector})
+        return self._process(vector, signature)
+
+    def _process(self, vector: list[int],
+                 signature: GroupSignature) -> SubmissionReceipt:
+        if not self.group.verify({"symptoms": vector}, signature):
+            self.rejected_submissions += 1
+            raise PrivacyError("submission signature invalid; rejected")
+        submission_id = f"sub-{self._counter:06d}"
+        self._counter += 1
+        sender = f"anon-{signature.pseudonym.hex()[:16]}"
+        tx = Transaction(
+            sender=sender, kind=TxKind.CONTRACT_CALL,
+            payload=call_payload(self.detector_address, "diagnose",
+                                 symptoms=vector),
+            timestamp=self.clock.now(),
+        )
+        block, _ = self.engine.seal(self.chain, [tx],
+                                    timestamp=self.clock.now())
+        receipts = self.chain.append_block(block)
+        receipt = receipts[0]
+        if not receipt.success:
+            raise DomainError(f"detector failed: {receipt.error}")
+        self.clock.advance(1)
+        return SubmissionReceipt(
+            submission_id=submission_id,
+            positive=bool(receipt.output["positive"]),
+            confidence_pct=int(receipt.output["confidence_pct"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Authority-side access
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict:
+        """Aggregate tally — identity-free by construction."""
+        return self.runtime.query(self.chain, self.detector_address,
+                                  "tally")
+
+    def submitters_are_anonymous(self) -> bool:
+        """Every diagnose call on-chain is signed by a pseudonym, and no
+        enrolled patient id appears in any transaction."""
+        enrolled = set(self.group._members)  # test-side introspection
+        for block in self.chain.blocks:
+            for tx in block.transactions:
+                if tx.kind != TxKind.CONTRACT_CALL:
+                    continue
+                if not tx.sender.startswith("anon-"):
+                    return False
+                if tx.sender in enrolled:
+                    return False
+        return True
+
+    def open_submission(self, signature: GroupSignature) -> str:
+        """Due-process de-anonymization by the group manager."""
+        return self.group.open(signature)

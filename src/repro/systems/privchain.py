@@ -1,0 +1,189 @@
+"""PrivChain [52]: privacy-preserving supply-chain provenance.
+
+"It allows data owners to provide proofs instead of data and gives
+incentive to entities to supply valid proofs using Zero Knowledge Range
+Proofs (ZKRPs) without disclosing exact locations.  Offline computation
+of proofs reduces blockchain overhead, while proof verification and
+incentive payments are automated through blockchain transactions, smart
+contracts, and events."
+
+Composition:
+
+* supply-chain lifecycle from
+  :class:`~repro.domains.supplychain.SupplyChainRegistry`;
+* sensitive readings (temperature, location grid cells) are *committed*
+  with Pedersen commitments, never stored in the clear;
+* a consumer/regulator asks "was the cold chain respected?"; the data
+  owner answers with a :func:`~repro.privacy.rangeproof.prove_range`
+  proof computed offline;
+* an :class:`~repro.contracts.library.escrow.IncentiveEscrow` contract
+  escrows a bounty and pays out automatically when the designated
+  verifier confirms the proof on-chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chain import Blockchain, ChainParams, Transaction, TxKind
+from ..clock import SimClock
+from ..consensus.poa import ProofOfAuthority
+from ..contracts import ContractRuntime, IncentiveEscrow, call_payload, deploy_payload
+from ..domains.supplychain import ColdChainMonitor, SupplyChainRegistry
+from ..errors import DomainError
+from ..privacy.commitment import PedersenCommitment
+from ..privacy.rangeproof import RangeProof, prove_range, verify_range
+from ..provenance.capture import CaptureSink
+from ..storage.provdb import ProvenanceDatabase
+
+
+@dataclass
+class CommittedReading:
+    """A sensor reading stored as a commitment only."""
+
+    reading_id: str
+    product_id: str
+    facility: str
+    commitment: PedersenCommitment
+    timestamp: int
+    # The opening lives with the data owner, off-chain:
+    _value: int
+    _randomness: int
+
+
+class PrivChain:
+    """Commit readings, prove ranges, automate incentives."""
+
+    def __init__(
+        self,
+        manufacturers: set[str],
+        verifier: str = "regulator",
+        clock: SimClock | None = None,
+    ) -> None:
+        self.clock = clock or SimClock()
+        self.database = ProvenanceDatabase()
+        self.sink = CaptureSink(self.database)
+        self.registry = SupplyChainRegistry(
+            self.sink, manufacturers, self.clock,
+            cold_chain=ColdChainMonitor(-1000, 1000),
+        )
+        self.verifier = verifier
+        self.chain = Blockchain(ChainParams(chain_id="privchain",
+                                            visibility="consortium"))
+        self.engine = ProofOfAuthority(sorted(manufacturers) or ["m0"])
+        self.runtime = ContractRuntime()
+        self.runtime.register(IncentiveEscrow)
+        self.runtime.attach(self.chain)
+        deploy = Transaction(
+            sender=verifier, kind=TxKind.CONTRACT_DEPLOY,
+            payload=deploy_payload("IncentiveEscrow", verifier=verifier),
+        )
+        receipts = self._seal([deploy])
+        self.escrow_address = receipts[0].output
+        self._readings: dict[str, CommittedReading] = {}
+        self._counter = 0
+        self.proofs_verified = 0
+        self.proofs_rejected = 0
+
+    # ------------------------------------------------------------------
+    def _seal(self, txs: list[Transaction]):
+        block, _ = self.engine.seal(self.chain, txs,
+                                    timestamp=self.clock.now())
+        return self.chain.append_block(block)
+
+    def _call(self, sender: str, entry: str, **args):
+        tx = Transaction(
+            sender=sender, kind=TxKind.CONTRACT_CALL,
+            payload=call_payload(self.escrow_address, entry, **args),
+        )
+        receipts = self._seal([tx])
+        receipt = receipts[0]
+        if not receipt.success:
+            raise DomainError(f"escrow call failed: {receipt.error}")
+        return receipt
+
+    # ------------------------------------------------------------------
+    # Committed sensing
+    # ------------------------------------------------------------------
+    def commit_reading(self, owner: str, product_id: str, facility: str,
+                       value: int) -> CommittedReading:
+        """Record a sensor value as a commitment (value stays private)."""
+        reading_id = f"reading-{self._counter:06d}"
+        self._counter += 1
+        commitment, randomness = PedersenCommitment.commit(
+            value, seed=f"{reading_id}:{owner}".encode()
+        )
+        reading = CommittedReading(
+            reading_id=reading_id,
+            product_id=product_id,
+            facility=facility,
+            commitment=commitment,
+            timestamp=self.clock.now(),
+            _value=value,
+            _randomness=randomness,
+        )
+        self._readings[reading_id] = reading
+        # On-chain: only the commitment.
+        tx = Transaction(
+            sender=owner, kind=TxKind.PROVENANCE,
+            payload={
+                "anchor_id": reading_id,
+                "product_id": product_id,
+                "facility": facility,
+                "commitment": commitment.value,
+            },
+            timestamp=self.clock.now(),
+        )
+        self._seal([tx])
+        self.clock.advance(1)
+        return reading
+
+    # ------------------------------------------------------------------
+    # Bounty-driven proof exchange
+    # ------------------------------------------------------------------
+    def request_range_proof(self, requester: str, reading_id: str,
+                            lo: int, hi: int, bounty: int) -> str:
+        """A consumer escrows a bounty for a proof that the committed
+        reading lies in [lo, hi]."""
+        if reading_id not in self._readings:
+            raise DomainError(f"unknown reading {reading_id!r}")
+        bounty_id = f"bounty-{reading_id}-{lo}-{hi}"
+        reading = self._readings[reading_id]
+        self._call(
+            requester, "open_bounty",
+            bounty_id=bounty_id, amount=bounty,
+            prover=reading.product_id,
+            statement=f"{reading_id} in [{lo},{hi}]",
+        )
+        return bounty_id
+
+    def produce_proof(self, reading_id: str, lo: int, hi: int,
+                      n_bits: int = 12) -> RangeProof:
+        """Data-owner side: compute the ZKRP offline."""
+        reading = self._readings[reading_id]
+        return prove_range(reading._value, reading._randomness,
+                           lo=lo, hi=hi, n_bits=n_bits,
+                           seed=reading_id.encode())
+
+    def settle(self, bounty_id: str, reading_id: str,
+               proof: RangeProof) -> str:
+        """Verifier checks the proof on-chain and settles the bounty.
+
+        Returns ``"paid"`` or ``"refunded"``.
+        """
+        reading = self._readings[reading_id]
+        valid = verify_range(reading.commitment, proof)
+        if valid:
+            self.proofs_verified += 1
+        else:
+            self.proofs_rejected += 1
+        receipt = self._call(
+            self.verifier, "submit_result",
+            bounty_id=bounty_id, proof_valid=valid,
+            proof_ref=reading_id,
+        )
+        return receipt.output
+
+    def payable_to(self, account: str) -> int:
+        return self.runtime.query(self.chain, self.escrow_address,
+                                  "payable_to", account=account)

@@ -1,0 +1,26 @@
+"""Seeded synthetic workload generators.
+
+The paper releases no traces; these generators produce the structured
+workloads its domains imply (stage-ordered investigations, DAG-shaped
+workflows, Zipf-skewed query streams) deterministically from a seed, so
+every benchmark run is reproducible.
+"""
+
+from .distributions import ZipfSampler, ArrivalProcess
+from .generators import (
+    CloudOpsWorkload,
+    ForensicCaseWorkload,
+    QueryWorkload,
+    SupplyChainWorkload,
+    WorkflowShape,
+)
+
+__all__ = [
+    "ZipfSampler",
+    "ArrivalProcess",
+    "CloudOpsWorkload",
+    "ForensicCaseWorkload",
+    "QueryWorkload",
+    "SupplyChainWorkload",
+    "WorkflowShape",
+]

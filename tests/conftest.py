@@ -1,0 +1,56 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import Blockchain, ChainParams, Transaction, TxKind
+from repro.clock import SimClock
+from repro.provenance.anchor import AnchorService
+from repro.provenance.capture import CaptureSink
+from repro.storage.provdb import ProvenanceDatabase
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def chain() -> Blockchain:
+    return Blockchain(ChainParams(chain_id="test-chain"))
+
+
+@pytest.fixture
+def funded_chain() -> Blockchain:
+    chain = Blockchain(ChainParams(chain_id="funded"))
+    for account in ("alice", "bob", "carol"):
+        chain.state.credit(account, 1_000)
+    return chain
+
+
+@pytest.fixture
+def database() -> ProvenanceDatabase:
+    return ProvenanceDatabase()
+
+
+@pytest.fixture
+def sink(database) -> CaptureSink:
+    return CaptureSink(database)
+
+
+@pytest.fixture
+def anchored_sink(chain, database):
+    service = AnchorService(chain, batch_size=4)
+    return CaptureSink(database, service), service
+
+
+def data_tx(i: int = 0, sender: str = "alice") -> Transaction:
+    """A small helper used across chain tests."""
+    return Transaction(sender=sender, kind=TxKind.DATA,
+                       payload={"key": f"k{i}", "value": i})
+
+
+@pytest.fixture
+def make_tx():
+    return data_tx

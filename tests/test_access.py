@@ -1,0 +1,266 @@
+"""RBAC, ABAC, LedgerView views, and the audit trail."""
+
+import pytest
+
+from repro.access import (
+    ABACPolicy,
+    AccessAuditLog,
+    Attribute,
+    LedgerView,
+    RBACPolicy,
+    ViewManager,
+)
+from repro.access.rbac import pattern_matches
+from repro.errors import AccessDenied, PolicyError
+from repro.storage.provdb import ProvenanceDatabase
+
+
+class TestPatternMatching:
+    def test_exact(self):
+        assert pattern_matches("a/b", "a/b")
+        assert not pattern_matches("a/b", "a/c")
+
+    def test_wildcard_prefix(self):
+        assert pattern_matches("case-7/*", "case-7/evidence-1")
+        assert not pattern_matches("case-7/*", "case-8/evidence-1")
+
+    def test_star_matches_all(self):
+        assert pattern_matches("*", "anything/at/all")
+
+
+class TestRBAC:
+    @pytest.fixture
+    def policy(self):
+        policy = RBACPolicy()
+        policy.define_role("viewer").allow("docs/*", "read")
+        policy.define_role("editor", parents=["viewer"]).allow("docs/*", "write")
+        policy.define_role("admin", parents=["editor"]).allow("*", "delete")
+        return policy
+
+    def test_direct_permission(self, policy):
+        policy.assign("alice", "viewer")
+        assert policy.is_allowed("alice", "docs/a", "read")
+        assert not policy.is_allowed("alice", "docs/a", "write")
+
+    def test_inherited_permission(self, policy):
+        policy.assign("bob", "admin")
+        assert policy.is_allowed("bob", "docs/a", "read")     # via viewer
+        assert policy.is_allowed("bob", "docs/a", "write")    # via editor
+        assert policy.is_allowed("bob", "other", "delete")
+
+    def test_unassigned_denied(self, policy):
+        assert not policy.is_allowed("stranger", "docs/a", "read")
+
+    def test_unassign_revokes(self, policy):
+        policy.assign("carol", "viewer")
+        policy.unassign("carol", "viewer")
+        assert not policy.is_allowed("carol", "docs/a", "read")
+
+    def test_require_raises(self, policy):
+        with pytest.raises(AccessDenied):
+            policy.require("nobody", "docs/a", "read")
+
+    def test_duplicate_role_rejected(self, policy):
+        with pytest.raises(PolicyError):
+            policy.define_role("viewer")
+
+    def test_unknown_parent_rejected(self, policy):
+        with pytest.raises(PolicyError):
+            policy.define_role("x", parents=["ghost"])
+
+    def test_decisions_audited(self):
+        audit = AccessAuditLog()
+        policy = RBACPolicy(audit_log=audit)
+        policy.define_role("r").allow("x", "read")
+        policy.assign("alice", "r")
+        policy.is_allowed("alice", "x", "read")
+        policy.is_allowed("eve", "x", "read")
+        assert len(audit) == 2
+        assert audit.denial_rate() == 0.5
+
+
+class TestABAC:
+    @pytest.fixture
+    def policy(self):
+        policy = ABACPolicy()
+        policy.permit(
+            "doctors-read-own-dept",
+            Attribute("role") == "doctor",
+            Attribute("department", on="resource").present(),
+            actions=("read",),
+        )
+        policy.deny(
+            "sealed-records",
+            Attribute("sealed", on="resource") == True,  # noqa: E712
+        )
+        policy.permit(
+            "admins-anything",
+            Attribute("role") == "admin",
+        )
+        return policy
+
+    def test_permit_applies(self, policy):
+        allowed, rule = policy.decide(
+            {"role": "doctor"}, {"department": "cardio"}, "read"
+        )
+        assert allowed and rule == "doctors-read-own-dept"
+
+    def test_default_deny(self, policy):
+        allowed, rule = policy.decide({"role": "nurse"}, {}, "read")
+        assert not allowed and rule == "default-deny"
+
+    def test_deny_overrides_permit(self, policy):
+        allowed, rule = policy.decide(
+            {"role": "admin"}, {"sealed": True}, "read"
+        )
+        assert not allowed and rule == "sealed-records"
+
+    def test_action_filter(self, policy):
+        assert not policy.is_allowed(
+            {"role": "doctor"}, {"department": "cardio"}, "delete"
+        )
+
+    def test_attribute_comparators(self):
+        policy = ABACPolicy()
+        policy.permit("senior", Attribute("level").at_least(5))
+        policy.permit("regions", Attribute("region").is_in(("us", "eu")))
+        assert policy.is_allowed({"level": 7}, {}, "go")
+        assert not policy.is_allowed({"level": 3}, {}, "go")
+        assert policy.is_allowed({"region": "eu"}, {}, "go")
+
+    def test_environment_attributes(self):
+        policy = ABACPolicy()
+        policy.permit(
+            "work-hours",
+            Attribute("hour", on="environment").at_least(9),
+        )
+        assert policy.is_allowed({}, {}, "x", {"hour": 10})
+        assert not policy.is_allowed({}, {}, "x", {"hour": 3})
+
+    def test_require_raises_with_rule_name(self, policy):
+        with pytest.raises(AccessDenied) as excinfo:
+            policy.require({"role": "admin"}, {"sealed": True}, "read")
+        assert "sealed-records" in str(excinfo.value)
+
+
+class TestViews:
+    @pytest.fixture
+    def rig(self):
+        database = ProvenanceDatabase()
+        for i in range(10):
+            database.insert({
+                "record_id": f"r{i}",
+                "subject": f"s{i % 2}",
+                "actor": "a",
+                "operation": "op",
+                "timestamp": i,
+            })
+        return database, ViewManager(database)
+
+    def test_read_through_grant(self, rig):
+        database, manager = rig
+        manager.create_view("v", "owner",
+                            lambda r: r["subject"] == "s0")
+        manager.grant("v", "owner", "reader")
+        rows = manager.read("v", "reader")
+        assert len(rows) == 5
+
+    def test_ungranted_reader_denied(self, rig):
+        _, manager = rig
+        manager.create_view("v", "owner", lambda r: True)
+        with pytest.raises(AccessDenied):
+            manager.read("v", "stranger")
+
+    def test_revocable_grant_withdrawn(self, rig):
+        _, manager = rig
+        manager.create_view("v", "owner", lambda r: True)
+        manager.grant("v", "owner", "reader")
+        manager.revoke_grant("v", "owner", "reader")
+        with pytest.raises(AccessDenied):
+            manager.read("v", "reader")
+
+    def test_irrevocable_grant_cannot_be_withdrawn(self, rig):
+        _, manager = rig
+        manager.create_view("v", "owner", lambda r: True, revocable=False)
+        manager.grant("v", "owner", "reader")
+        with pytest.raises(PolicyError):
+            manager.revoke_grant("v", "owner", "reader")
+        with pytest.raises(PolicyError):
+            manager.revoke_view("v", "owner")
+
+    def test_irrevocable_view_frozen_content(self, rig):
+        database, manager = rig
+        manager.create_view("v", "owner",
+                            lambda r: r["subject"] == "s0",
+                            revocable=False)
+        manager.grant("v", "owner", "reader")
+        before = len(manager.read("v", "reader"))
+        database.insert({"record_id": "new", "subject": "s0",
+                         "actor": "a", "operation": "op", "timestamp": 99})
+        after = len(manager.read("v", "reader"))
+        assert before == after        # snapshot semantics
+
+    def test_revocable_view_is_live(self, rig):
+        database, manager = rig
+        manager.create_view("v", "owner",
+                            lambda r: r["subject"] == "s0")
+        manager.grant("v", "owner", "reader")
+        before = len(manager.read("v", "reader"))
+        database.insert({"record_id": "new", "subject": "s0",
+                         "actor": "a", "operation": "op", "timestamp": 99})
+        assert len(manager.read("v", "reader")) == before + 1
+
+    def test_only_owner_grants(self, rig):
+        _, manager = rig
+        manager.create_view("v", "owner", lambda r: True)
+        with pytest.raises(AccessDenied):
+            manager.grant("v", "mallory", "mallory")
+
+    def test_revoked_view_unreadable_even_by_owner(self, rig):
+        _, manager = rig
+        manager.create_view("v", "owner", lambda r: True)
+        manager.revoke_view("v", "owner")
+        with pytest.raises(AccessDenied):
+            manager.read("v", "owner")
+
+    def test_readable_by_listing(self, rig):
+        _, manager = rig
+        manager.create_view("v1", "owner", lambda r: True)
+        manager.create_view("v2", "owner", lambda r: True)
+        manager.grant("v1", "owner", "reader")
+        assert manager.readable_by("reader") == ["v1"]
+        assert manager.readable_by("owner") == ["v1", "v2"]
+
+
+class TestAuditLog:
+    def test_chain_verifies(self, clock):
+        log = AccessAuditLog(clock)
+        log.record("a", "r", "read", True, "rbac")
+        log.record("b", "r", "read", False, "rbac")
+        assert log.verify()
+
+    def test_tamper_detected(self, clock):
+        log = AccessAuditLog(clock)
+        log.record("a", "r", "read", True, "rbac")
+        log.record("b", "r", "read", False, "rbac")
+        log._decisions[0] = log._decisions[0].__class__(
+            seq=0, subject="a", resource="r", action="read",
+            allowed=False,       # flipped!
+            mechanism="rbac", timestamp=0,
+        )
+        assert not log.verify()
+
+    def test_export_as_provenance_record(self, clock):
+        log = AccessAuditLog(clock)
+        decision = log.record("alice", "doc", "write", False, "abac")
+        record = decision.to_provenance_record()
+        assert record["operation"] == "write:deny"
+        assert record["actor"] == "alice"
+
+    def test_filters(self, clock):
+        log = AccessAuditLog(clock)
+        log.record("a", "r1", "read", True)
+        log.record("a", "r2", "read", False)
+        log.record("b", "r1", "read", False)
+        assert len(log.denials()) == 2
+        assert len(log.for_subject("a")) == 2

@@ -1,0 +1,122 @@
+"""Consensus engines: PoW/PoS/PoA selection and validation rules."""
+
+import pytest
+
+from repro.chain import Blockchain, ChainParams
+from repro.consensus import (
+    ProofOfAuthority,
+    ProofOfStake,
+    ProofOfWork,
+    Validator,
+)
+from repro.errors import ConsensusError
+from .conftest import data_tx
+
+
+class TestProofOfWork:
+    def test_seal_meets_target(self, chain):
+        engine = ProofOfWork(difficulty_bits=8)
+        block, metrics = engine.seal(chain, [data_tx(1)])
+        assert int.from_bytes(block.block_hash, "big") < engine.target
+        assert metrics.work >= 1
+        engine.validate(chain, block)
+
+    def test_higher_difficulty_costs_more_work(self, chain):
+        # Expected work doubles per bit; compare averages over sealing
+        # several blocks to smooth variance.
+        def average_work(bits: int) -> float:
+            test_chain = Blockchain(ChainParams(chain_id=f"pow-{bits}"))
+            engine = ProofOfWork(difficulty_bits=bits)
+            total = 0
+            for i in range(5):
+                block, metrics = engine.seal(test_chain, [data_tx(i)])
+                test_chain.append_block(block)
+                total += metrics.work
+            return total / 5
+
+        assert average_work(10) > average_work(4)
+
+    def test_validate_rejects_wrong_difficulty_declaration(self, chain):
+        engine = ProofOfWork(difficulty_bits=8)
+        block, _ = engine.seal(chain, [])
+        other = ProofOfWork(difficulty_bits=12)
+        with pytest.raises(ConsensusError):
+            other.validate(chain, block)
+
+    def test_validate_rejects_unmined_block(self, chain):
+        engine = ProofOfWork(difficulty_bits=16)
+        block = chain.build_block(
+            [], consensus_meta={"difficulty_bits": 16, "algo": "pow"}
+        )
+        # Overwhelmingly likely not to meet a 16-bit target by luck.
+        with pytest.raises(ConsensusError):
+            engine.validate(chain, block)
+
+    def test_estimated_hashes(self):
+        assert ProofOfWork(difficulty_bits=10).estimated_hashes() == 1024
+
+
+class TestProofOfStake:
+    def test_proposer_is_deterministic(self, chain):
+        engine = ProofOfStake([Validator("v1", 10), Validator("v2", 20)])
+        first = engine.select_proposer(chain, 1)
+        assert engine.select_proposer(chain, 1) == first
+
+    def test_stake_weighting_over_many_heights(self):
+        engine = ProofOfStake([Validator("small", 1), Validator("big", 9)])
+        chain = Blockchain(ChainParams(chain_id="pos-weight"))
+        winners = {"small": 0, "big": 0}
+        for i in range(60):
+            block, metrics = engine.seal(chain, [data_tx(i)])
+            chain.append_block(block)
+            winners[metrics.proposer] += 1
+        assert winners["big"] > winners["small"]
+
+    def test_validate_rejects_wrong_proposer(self, chain):
+        engine = ProofOfStake([Validator("v1", 10), Validator("v2", 20)])
+        expected = engine.select_proposer(chain, 1).validator_id
+        wrong = "v1" if expected == "v2" else "v2"
+        block = chain.build_block([], proposer=wrong)
+        with pytest.raises(ConsensusError):
+            engine.validate(chain, block)
+
+    def test_rejects_empty_validator_set(self):
+        with pytest.raises(ValueError):
+            ProofOfStake([])
+
+    def test_rejects_duplicate_validators(self):
+        with pytest.raises(ValueError):
+            ProofOfStake([Validator("v", 1), Validator("v", 2)])
+
+    def test_rejects_non_positive_stake(self):
+        with pytest.raises(ValueError):
+            Validator("v", 0)
+
+
+class TestProofOfAuthority:
+    def test_round_robin(self, chain):
+        engine = ProofOfAuthority(["a", "b", "c"])
+        proposers = []
+        for i in range(6):
+            metrics = engine.seal_and_append(chain, [data_tx(i)])
+            proposers.append(metrics.proposer)
+        assert proposers == ["b", "c", "a", "b", "c", "a"]
+
+    def test_out_of_turn_rejected(self, chain):
+        engine = ProofOfAuthority(["a", "b"])
+        block = chain.build_block([], proposer="a")   # height 1 is b's slot
+        with pytest.raises(ConsensusError):
+            engine.validate(chain, block)
+
+    def test_duplicate_authorities_rejected(self):
+        with pytest.raises(ValueError):
+            ProofOfAuthority(["a", "a"])
+
+
+class TestSealAndAppend:
+    def test_full_cycle_keeps_chain_intact(self, chain):
+        engine = ProofOfAuthority(["only"])
+        for i in range(5):
+            engine.seal_and_append(chain, [data_tx(i)])
+        assert chain.height == 5
+        chain.verify()

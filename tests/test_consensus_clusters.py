@@ -1,0 +1,138 @@
+"""PBFT and Raft clusters over the simulated network."""
+
+import pytest
+
+from repro.consensus import PBFTCluster, RaftCluster
+from repro.errors import ConsensusError
+from repro.network import SimNet
+from .conftest import data_tx
+
+
+def make_pbft(n=4, seed=0):
+    return PBFTCluster(SimNet(seed=seed), n_replicas=n)
+
+
+def make_raft(n=3, seed=0):
+    return RaftCluster(SimNet(seed=seed), n_nodes=n)
+
+
+class TestPBFT:
+    def test_all_replicas_commit(self):
+        cluster = make_pbft(4)
+        cluster.propose([data_tx(1)])
+        assert set(cluster.heights().values()) == {1}
+
+    def test_replicas_agree_on_block_hash(self):
+        cluster = make_pbft(4)
+        cluster.propose([data_tx(1), data_tx(2)])
+        hashes = {r.chain.head.block_hash for r in cluster.replicas}
+        assert len(hashes) == 1
+
+    def test_message_count_quadratic(self):
+        small = make_pbft(4)
+        big = make_pbft(10)
+        m_small = small.propose([data_tx(1)]).messages
+        m_big = big.propose([data_tx(1)]).messages
+        assert m_small == PBFTCluster.analytic_messages(4)
+        assert m_big == PBFTCluster.analytic_messages(10)
+        # Quadratic growth: 2.5x nodes -> >4x messages.
+        assert m_big > 4 * m_small
+
+    def test_tolerates_f_crashed_backups(self):
+        cluster = make_pbft(4)     # f = 1
+        cluster.crash("pbft-2")
+        metrics = cluster.propose([data_tx(1)])
+        assert metrics.committed
+        live_heights = [r.chain.height for r in cluster.replicas
+                        if not r.crashed]
+        assert all(h == 1 for h in live_heights)
+
+    def test_view_change_on_crashed_primary(self):
+        cluster = make_pbft(4)
+        cluster.crash("pbft-0")      # view-0 primary
+        metrics = cluster.propose([data_tx(1)])
+        assert metrics.extra["view_changes"] >= 1
+        assert metrics.committed
+
+    def test_too_many_crashes_refused(self):
+        cluster = make_pbft(4)
+        cluster.crash("pbft-1")
+        cluster.crash("pbft-2")
+        with pytest.raises(ConsensusError):
+            cluster.propose([data_tx(1)])
+
+    def test_recovery_syncs_chain(self):
+        cluster = make_pbft(4)
+        cluster.crash("pbft-3")
+        cluster.propose([data_tx(1)])
+        cluster.propose([data_tx(2)])
+        cluster.recover("pbft-3")
+        assert cluster.heights()["pbft-3"] == 2
+
+    def test_multiple_consecutive_blocks(self):
+        cluster = make_pbft(7)
+        for i in range(3):
+            cluster.propose([data_tx(i)])
+        assert set(cluster.heights().values()) == {3}
+
+    def test_needs_four_replicas(self):
+        with pytest.raises(ValueError):
+            make_pbft(3)
+
+
+class TestRaft:
+    def test_replication_to_all(self):
+        cluster = make_raft(5)
+        cluster.propose([data_tx(1)])
+        assert set(cluster.heights().values()) == {1}
+
+    def test_message_count_linear(self):
+        m5 = make_raft(5).propose([data_tx(1)]).messages
+        m10 = make_raft(10).propose([data_tx(1)]).messages
+        # Election + replication are both O(n): doubling nodes should
+        # roughly double messages, never square them.
+        assert m10 < 3 * m5
+
+    def test_leader_crash_triggers_reelection(self):
+        cluster = make_raft(5)
+        cluster.propose([data_tx(1)])
+        old_leader = cluster.leader_id
+        cluster.crash(old_leader)
+        metrics = cluster.propose([data_tx(2)])
+        assert metrics.committed
+        assert cluster.leader_id != old_leader
+
+    def test_no_majority_refused(self):
+        cluster = make_raft(3)
+        cluster.crash("raft-1")
+        cluster.crash("raft-2")
+        with pytest.raises(ConsensusError):
+            cluster.propose([data_tx(1)])
+
+    def test_recovered_node_catches_up(self):
+        cluster = make_raft(3)
+        cluster.propose([data_tx(1)])
+        cluster.crash("raft-2")
+        cluster.propose([data_tx(2)])
+        cluster.recover("raft-2")
+        assert cluster.heights()["raft-2"] == 2
+
+    def test_one_vote_per_term(self):
+        cluster = make_raft(3)
+        leader = cluster.elect()
+        node = cluster.nodes[0]
+        # The elected term's votes are already spent; a second candidate
+        # in the same term cannot gather a majority.
+        term = max(n.term for n in cluster.nodes)
+        assert sum(
+            1 for n in cluster.nodes if n.voted_for.get(term) == leader
+        ) >= cluster.majority
+
+    def test_pbft_vs_raft_message_gap_grows(self):
+        for n in (4, 7, 10):
+            pbft_messages = PBFTCluster.analytic_messages(n)
+            raft_messages = RaftCluster.analytic_messages(n)
+            assert pbft_messages > raft_messages
+        gap4 = PBFTCluster.analytic_messages(4) - RaftCluster.analytic_messages(4)
+        gap16 = PBFTCluster.analytic_messages(16) - RaftCluster.analytic_messages(16)
+        assert gap16 > 10 * gap4

@@ -1,0 +1,306 @@
+"""Contract runtime: gas, revert atomicity, and the library contracts."""
+
+import pytest
+
+from repro.chain import Blockchain, Transaction, TxKind
+from repro.contracts import (
+    AccessControlContract,
+    Contract,
+    ContractRuntime,
+    EventLog,
+    IncentiveEscrow,
+    ProvenanceRegistry,
+    SimpleToken,
+    ThresholdVoting,
+    call_payload,
+    deploy_payload,
+    method,
+    view,
+)
+from repro.errors import ContractReverted
+
+
+class Counter(Contract):
+    """A test contract exercising gas + revert behaviour."""
+
+    def setup(self, start: int = 0) -> None:
+        self.storage.set("count", int(start))
+
+    @method
+    def bump(self, by: int = 1) -> int:
+        self.charge(1)
+        value = int(self.storage.get("count", 0)) + by
+        self.storage.set("count", value)
+        self.emit("bumped", value=value)
+        return value
+
+    @method
+    def bump_then_fail(self) -> None:
+        self.charge(1)
+        self.storage.set("count", 10_000)
+        self.require(False, "deliberate failure")
+
+    @method
+    def burn_gas(self) -> None:
+        while True:
+            self.charge(100)
+
+    @view
+    def current(self) -> int:
+        self.charge(1)
+        return int(self.storage.get("count", 0))
+
+    @view
+    def sneaky_write(self) -> None:
+        self.storage.set("count", -1)
+
+
+@pytest.fixture
+def rig():
+    runtime = ContractRuntime()
+    for cls in (Counter, ProvenanceRegistry, ThresholdVoting,
+                AccessControlContract, IncentiveEscrow, SimpleToken):
+        runtime.register(cls)
+    chain = Blockchain()
+    runtime.attach(chain)
+    return runtime, chain
+
+
+def deploy(chain, name, sender="deployer", **args):
+    tx = Transaction(sender=sender, kind=TxKind.CONTRACT_DEPLOY,
+                     payload=deploy_payload(name, **args))
+    receipts = chain.append_block(chain.build_block([tx]))
+    assert receipts[0].success, receipts[0].error
+    return receipts[0].output
+
+
+def call(chain, address, entry, sender="caller", **args):
+    tx = Transaction(sender=sender, kind=TxKind.CONTRACT_CALL,
+                     payload=call_payload(address, entry, **args))
+    receipts = chain.append_block(chain.build_block([tx]))
+    return receipts[0]
+
+
+class TestRuntime:
+    def test_deploy_and_call(self, rig):
+        runtime, chain = rig
+        addr = deploy(chain, "Counter", start=5)
+        receipt = call(chain, addr, "bump", by=3)
+        assert receipt.success and receipt.output == 8
+        assert runtime.query(chain, addr, "current") == 8
+
+    def test_unknown_contract_class(self, rig):
+        _, chain = rig
+        tx = Transaction(sender="d", kind=TxKind.CONTRACT_DEPLOY,
+                         payload=deploy_payload("Nope"))
+        receipts = chain.append_block(chain.build_block([tx]))
+        assert not receipts[0].success
+
+    def test_unknown_entry_point(self, rig):
+        _, chain = rig
+        addr = deploy(chain, "Counter")
+        receipt = call(chain, addr, "no_such_method")
+        assert not receipt.success
+
+    def test_revert_rolls_back_state(self, rig):
+        runtime, chain = rig
+        addr = deploy(chain, "Counter", start=1)
+        receipt = call(chain, addr, "bump_then_fail")
+        assert not receipt.success
+        assert runtime.query(chain, addr, "current") == 1
+
+    def test_out_of_gas_reverts(self, rig):
+        runtime, chain = rig
+        addr = deploy(chain, "Counter", start=1)
+        receipt = call(chain, addr, "burn_gas")
+        assert not receipt.success
+        assert runtime.query(chain, addr, "current") == 1
+
+    def test_view_cannot_write(self, rig):
+        runtime, chain = rig
+        addr = deploy(chain, "Counter", start=3)
+        with pytest.raises(ContractReverted):
+            runtime.query(chain, addr, "sneaky_write")
+        assert runtime.query(chain, addr, "current") == 3
+
+    def test_events_reach_receipts_and_log(self, rig):
+        _, chain = rig
+        log = EventLog(chain)
+        addr = deploy(chain, "Counter")
+        call(chain, addr, "bump")
+        events = log.by_name("bumped")
+        assert len(events) == 1
+        assert events[0].event.data["value"] == 1
+
+    def test_two_instances_isolated(self, rig):
+        runtime, chain = rig
+        a1 = deploy(chain, "Counter", start=1)
+        a2 = deploy(chain, "Counter", start=100)
+        call(chain, a1, "bump")
+        assert runtime.query(chain, a1, "current") == 2
+        assert runtime.query(chain, a2, "current") == 100
+
+
+class TestProvenanceRegistry:
+    def test_register_and_verify(self, rig):
+        runtime, chain = rig
+        addr = deploy(chain, "ProvenanceRegistry")
+        call(chain, addr, "register", sender="alice",
+             record_id="r1", content_hash="aa")
+        assert runtime.query(chain, addr, "verify",
+                             record_id="r1", content_hash="aa")
+        assert not runtime.query(chain, addr, "verify",
+                                 record_id="r1", content_hash="bb")
+
+    def test_duplicate_rejected(self, rig):
+        _, chain = rig
+        addr = deploy(chain, "ProvenanceRegistry")
+        call(chain, addr, "register", record_id="r1", content_hash="aa")
+        receipt = call(chain, addr, "register", record_id="r1",
+                       content_hash="cc")
+        assert not receipt.success
+
+    def test_history_follows_prev_links(self, rig):
+        runtime, chain = rig
+        addr = deploy(chain, "ProvenanceRegistry")
+        call(chain, addr, "register", record_id="v1", content_hash="a")
+        call(chain, addr, "register", record_id="v2", content_hash="b",
+             prev_record_id="v1")
+        call(chain, addr, "register", record_id="v3", content_hash="c",
+             prev_record_id="v2")
+        history = runtime.query(chain, addr, "history", record_id="v3")
+        assert [h["record_id"] for h in history] == ["v3", "v2", "v1"]
+
+    def test_only_owner_transfers(self, rig):
+        _, chain = rig
+        addr = deploy(chain, "ProvenanceRegistry")
+        call(chain, addr, "register", sender="alice",
+             record_id="r1", content_hash="aa")
+        bad = call(chain, addr, "transfer_ownership", sender="mallory",
+                   record_id="r1", new_owner="mallory")
+        assert not bad.success
+        good = call(chain, addr, "transfer_ownership", sender="alice",
+                    record_id="r1", new_owner="bob")
+        assert good.success
+
+
+class TestThresholdVoting:
+    def test_threshold_acceptance(self, rig):
+        runtime, chain = rig
+        addr = deploy(chain, "ThresholdVoting",
+                      voters=["a", "b", "c"], threshold=2)
+        call(chain, addr, "propose", sender="a", item_id="x")
+        call(chain, addr, "vote", sender="a", item_id="x")
+        assert runtime.query(chain, addr, "status", item_id="x") == "open"
+        call(chain, addr, "vote", sender="b", item_id="x")
+        assert runtime.query(chain, addr, "status", item_id="x") == "accepted"
+
+    def test_double_vote_rejected(self, rig):
+        _, chain = rig
+        addr = deploy(chain, "ThresholdVoting", voters=["a", "b"],
+                      threshold=2)
+        call(chain, addr, "propose", sender="a", item_id="x")
+        call(chain, addr, "vote", sender="a", item_id="x")
+        again = call(chain, addr, "vote", sender="a", item_id="x")
+        assert not again.success
+
+    def test_non_voter_rejected(self, rig):
+        _, chain = rig
+        addr = deploy(chain, "ThresholdVoting", voters=["a"], threshold=1)
+        call(chain, addr, "propose", sender="a", item_id="x")
+        receipt = call(chain, addr, "vote", sender="stranger", item_id="x")
+        assert not receipt.success
+
+    def test_unanimous_mode_single_rejection_sinks(self, rig):
+        runtime, chain = rig
+        addr = deploy(chain, "ThresholdVoting",
+                      voters=["a", "b", "c"], unanimous=True)
+        call(chain, addr, "propose", sender="a", item_id="x")
+        call(chain, addr, "vote", sender="a", item_id="x")
+        call(chain, addr, "vote", sender="b", item_id="x", approve=False)
+        assert runtime.query(chain, addr, "status", item_id="x") == "rejected"
+
+
+class TestAccessControlContract:
+    def test_grant_check_revoke(self, rig):
+        runtime, chain = rig
+        addr = deploy(chain, "AccessControlContract", sender="admin")
+        call(chain, addr, "grant", sender="admin",
+             subject="alice", resource="doc", action="read")
+        assert runtime.query(chain, addr, "check",
+                             subject="alice", resource="doc", action="read")
+        call(chain, addr, "revoke", sender="admin",
+             subject="alice", resource="doc", action="read")
+        assert not runtime.query(chain, addr, "check",
+                                 subject="alice", resource="doc",
+                                 action="read")
+
+    def test_non_admin_cannot_grant(self, rig):
+        _, chain = rig
+        addr = deploy(chain, "AccessControlContract", sender="admin")
+        receipt = call(chain, addr, "grant", sender="mallory",
+                       subject="mallory", resource="*", action="read")
+        assert not receipt.success
+
+    def test_expiring_grant(self, rig):
+        runtime, chain = rig
+        addr = deploy(chain, "AccessControlContract", sender="admin")
+        call(chain, addr, "grant", sender="admin", subject="bob",
+             resource="doc", action="read", expires_at=100)
+        assert runtime.query(chain, addr, "check", subject="bob",
+                             resource="doc", action="read", at_time=50)
+        assert not runtime.query(chain, addr, "check", subject="bob",
+                                 resource="doc", action="read", at_time=150)
+
+
+class TestEscrowAndToken:
+    def test_bounty_paid_on_valid_proof(self, rig):
+        runtime, chain = rig
+        addr = deploy(chain, "IncentiveEscrow", sender="verifier")
+        call(chain, addr, "open_bounty", sender="consumer",
+             bounty_id="b1", amount=10, prover="farmer")
+        receipt = call(chain, addr, "submit_result", sender="verifier",
+                       bounty_id="b1", proof_valid=True)
+        assert receipt.output == "paid"
+        assert runtime.query(chain, addr, "payable_to",
+                             account="farmer") == 10
+
+    def test_bounty_refunded_on_invalid_proof(self, rig):
+        runtime, chain = rig
+        addr = deploy(chain, "IncentiveEscrow", sender="verifier")
+        call(chain, addr, "open_bounty", sender="consumer",
+             bounty_id="b1", amount=10, prover="farmer")
+        call(chain, addr, "submit_result", sender="verifier",
+             bounty_id="b1", proof_valid=False)
+        assert runtime.query(chain, addr, "payable_to",
+                             account="consumer") == 10
+
+    def test_only_verifier_settles(self, rig):
+        _, chain = rig
+        addr = deploy(chain, "IncentiveEscrow", sender="verifier")
+        call(chain, addr, "open_bounty", sender="c",
+             bounty_id="b1", amount=5, prover="p")
+        receipt = call(chain, addr, "submit_result", sender="impostor",
+                       bounty_id="b1", proof_valid=True)
+        assert not receipt.success
+
+    def test_token_conservation(self, rig):
+        runtime, chain = rig
+        addr = deploy(chain, "SimpleToken", sender="mint",
+                      initial_supply=100)
+        call(chain, addr, "transfer", sender="mint", to="a", amount=30)
+        call(chain, addr, "transfer", sender="a", to="b", amount=10)
+        balances = [
+            runtime.query(chain, addr, "balance_of", account=acc)
+            for acc in ("mint", "a", "b")
+        ]
+        assert balances == [70, 20, 10]
+        assert runtime.query(chain, addr, "total_supply") == 100
+
+    def test_token_overdraft_rejected(self, rig):
+        _, chain = rig
+        addr = deploy(chain, "SimpleToken", sender="mint",
+                      initial_supply=5)
+        receipt = call(chain, addr, "transfer", sender="mint",
+                       to="a", amount=50)
+        assert not receipt.success

@@ -1,0 +1,333 @@
+"""Cross-chain mechanisms: HTLC, swaps (all-or-nothing), notary, relay,
+sidechain, bridge."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain import Blockchain, ChainParams
+from repro.clock import SimClock
+from repro.crosschain import (
+    AtomicSwap,
+    BridgeChain,
+    HTLCManager,
+    NotaryScheme,
+    PeggedSidechain,
+    RelayChain,
+    SwapParty,
+)
+from repro.crosschain.htlc import make_hashlock
+from repro.errors import CrossChainError, TimelockExpired
+
+
+def fresh_chain(chain_id, credits=()):
+    chain = Blockchain(ChainParams(chain_id=chain_id))
+    for account, amount in credits:
+        chain.state.credit(account, amount)
+    return chain
+
+
+class TestHTLC:
+    @pytest.fixture
+    def rig(self):
+        clock = SimClock()
+        chain = fresh_chain("htlc", [("alice", 100)])
+        return clock, chain, HTLCManager(chain, clock)
+
+    def test_claim_with_correct_preimage(self, rig):
+        clock, chain, manager = rig
+        secret = b"the-secret"
+        lock = manager.lock("alice", "bob", 40, make_hashlock(secret),
+                            timelock=100)
+        manager.claim(lock.htlc_id, secret)
+        assert chain.state.balance("bob") == 40
+        assert chain.state.balance("alice") == 60
+
+    def test_wrong_preimage_rejected(self, rig):
+        clock, chain, manager = rig
+        lock = manager.lock("alice", "bob", 40,
+                            make_hashlock(b"right"), timelock=100)
+        with pytest.raises(CrossChainError):
+            manager.claim(lock.htlc_id, b"wrong")
+        assert chain.state.balance("bob") == 0
+
+    def test_claim_after_expiry_rejected(self, rig):
+        clock, chain, manager = rig
+        secret = b"s"
+        lock = manager.lock("alice", "bob", 40, make_hashlock(secret),
+                            timelock=10)
+        clock.advance(20)
+        with pytest.raises(TimelockExpired):
+            manager.claim(lock.htlc_id, secret)
+
+    def test_refund_only_after_expiry(self, rig):
+        clock, chain, manager = rig
+        lock = manager.lock("alice", "bob", 40, make_hashlock(b"s"),
+                            timelock=10)
+        with pytest.raises(CrossChainError):
+            manager.refund(lock.htlc_id)
+        clock.advance(10)
+        manager.refund(lock.htlc_id)
+        assert chain.state.balance("alice") == 100
+
+    def test_double_claim_rejected(self, rig):
+        clock, chain, manager = rig
+        secret = b"s"
+        lock = manager.lock("alice", "bob", 40, make_hashlock(secret),
+                            timelock=100)
+        manager.claim(lock.htlc_id, secret)
+        with pytest.raises(CrossChainError):
+            manager.claim(lock.htlc_id, secret)
+
+    def test_secret_revealed_on_chain(self, rig):
+        clock, chain, manager = rig
+        secret = b"published"
+        hashlock = make_hashlock(secret)
+        lock = manager.lock("alice", "bob", 10, hashlock, timelock=100)
+        assert manager.secret_revealed_by(hashlock) is None
+        manager.claim(lock.htlc_id, secret)
+        assert manager.secret_revealed_by(hashlock) == secret
+
+    def test_actions_recorded_on_chain(self, rig):
+        clock, chain, manager = rig
+        lock = manager.lock("alice", "bob", 10, make_hashlock(b"s"),
+                            timelock=100)
+        manager.claim(lock.htlc_id, b"s")
+        actions = [
+            tx.payload["action"]
+            for block in chain.blocks for tx in block.transactions
+        ]
+        assert actions == ["htlc_lock", "htlc_claim"]
+
+    def test_insufficient_balance_rejected(self, rig):
+        clock, chain, manager = rig
+        with pytest.raises(Exception):
+            manager.lock("alice", "bob", 1000, make_hashlock(b"s"),
+                         timelock=100)
+
+
+def build_swap(n_parties=2, clock=None, seed=b"seed"):
+    clock = clock or SimClock()
+    parties = []
+    for i in range(n_parties):
+        chain = fresh_chain(f"sc-{i}", [(f"p{i}", 1000)])
+        parties.append(SwapParty(
+            name=f"p{i}", gives_amount=10 * (i + 1),
+            on_manager=HTLCManager(chain, clock),
+        ))
+    return AtomicSwap(parties=parties, clock=clock, secret_seed=seed), clock
+
+
+class TestAtomicSwap:
+    def test_two_party_happy_path(self):
+        swap, _ = build_swap(2)
+        outcome = swap.execute()
+        assert outcome.completed
+        chain0 = swap.parties[0].on_manager.chain
+        chain1 = swap.parties[1].on_manager.chain
+        assert chain0.state.balance("p1") == 10    # p0 gave 10 to p1
+        assert chain1.state.balance("p0") == 20    # p1 gave 20 to p0
+
+    def test_three_party_cycle(self):
+        swap, _ = build_swap(3)
+        outcome = swap.execute()
+        assert outcome.completed
+        assert all(leg.status == "claimed" for leg in swap.legs)
+
+    def test_abort_refunds_everyone(self):
+        swap, _ = build_swap(3)
+        outcome = swap.execute_with_abort(locked_legs=2)
+        assert outcome.status == "refunded"
+        for i, party in enumerate(swap.parties):
+            assert party.on_manager.chain.state.balance(f"p{i}") == 1000
+
+    def test_timelock_ladder_decreasing(self):
+        swap, _ = build_swap(4)
+        swap.lock_all()
+        timelocks = [leg.timelock for leg in swap.legs]
+        assert timelocks == sorted(timelocks, reverse=True)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=2, max_value=5), st.data())
+    def test_property_all_or_nothing(self, n_parties, data):
+        """The §2.3 atomicity claim: after any partial-lock abort, every
+        party's balance is exactly restored; after a full run, every leg
+        is claimed."""
+        complete = data.draw(st.booleans())
+        swap, _ = build_swap(n_parties,
+                             seed=b"prop-%d" % data.draw(
+                                 st.integers(0, 1000)))
+        if complete:
+            swap.execute()
+            assert all(leg.status == "claimed" for leg in swap.legs)
+        else:
+            locked = data.draw(st.integers(min_value=0,
+                                           max_value=n_parties - 1))
+            swap.execute_with_abort(locked_legs=locked)
+            for i, party in enumerate(swap.parties):
+                balance = party.on_manager.chain.state.balance(f"p{i}")
+                assert balance == 1000
+
+
+class TestNotary:
+    def test_committee_transfer(self):
+        clock = SimClock()
+        src = fresh_chain("n-src", [("u", 100)])
+        dst = fresh_chain("n-dst")
+        notary = NotaryScheme(src, dst, clock, n_notaries=3, threshold=2)
+        outcome = notary.transfer("u", "v", 30)
+        assert outcome.completed
+        assert dst.state.balance("v") == 30
+        assert src.state.balance("u") == 70
+
+    def test_below_threshold_aborts_and_releases(self):
+        clock = SimClock()
+        src = fresh_chain("n-src2", [("u", 100)])
+        dst = fresh_chain("n-dst2")
+        notary = NotaryScheme(src, dst, clock, n_notaries=3, threshold=3)
+        outcome = notary.transfer("u", "v", 30, honest_notaries=2)
+        assert outcome.status == "aborted"
+        assert src.state.balance("u") == 100
+        assert dst.state.balance("v") == 0
+
+    def test_single_notary_is_spof(self):
+        clock = SimClock()
+        src = fresh_chain("n-src3", [("u", 100)])
+        dst = fresh_chain("n-dst3")
+        notary = NotaryScheme(src, dst, clock, n_notaries=1)
+        assert notary.transfer("u", "v", 1, honest_notaries=0).status == \
+            "aborted"
+
+    def test_more_notaries_more_messages(self):
+        clock = SimClock()
+
+        def messages(n):
+            src = fresh_chain(f"nm-src{n}", [("u", 100)])
+            dst = fresh_chain(f"nm-dst{n}")
+            return NotaryScheme(src, dst, clock,
+                                n_notaries=n).transfer("u", "v", 1).messages
+
+        assert messages(5) > messages(1)
+
+
+class TestRelay:
+    def test_header_verified_inclusion(self):
+        clock = SimClock()
+        relay = RelayChain(clock)
+        source = fresh_chain("r-src", [("u", 50)])
+        relay.register(source)
+        from .conftest import data_tx
+
+        tx = data_tx(1)
+        source.append_block(source.build_block([tx]))
+        relay.sync_chain("r-src")
+        block, proof = source.prove_transaction(tx.tx_id)
+        assert relay.verify_inclusion("r-src", block.height, tx, proof)
+
+    def test_transfer_via_relay(self):
+        clock = SimClock()
+        relay = RelayChain(clock)
+        src = fresh_chain("r-a", [("u", 100)])
+        dst = fresh_chain("r-b")
+        relay.register(src)
+        relay.register(dst)
+        outcome = relay.transfer(src, dst, "u", "v", 25)
+        assert outcome.completed
+        assert dst.state.balance("v") == 25
+
+    def test_missing_header_raises(self):
+        clock = SimClock()
+        relay = RelayChain(clock)
+        relay.register(fresh_chain("r-x"))
+        with pytest.raises(CrossChainError):
+            relay.header_for("r-x", 99)
+
+    def test_headers_land_on_relay_chain(self):
+        clock = SimClock()
+        relay = RelayChain(clock)
+        source = fresh_chain("r-hdr")
+        relay.register(source)
+        source.append_block(source.build_block([]))
+        relay.sync_chain("r-hdr")
+        assert relay.chain.height == 2   # genesis + source head headers
+
+
+class TestSidechain:
+    def test_peg_roundtrip_conserves(self):
+        clock = SimClock()
+        main = fresh_chain("main", [("u", 100)])
+        peg = PeggedSidechain(main, clock)
+        peg.deposit("u", 60)
+        assert peg.side.state.balance("u") == 60
+        assert main.state.balance("u") == 40
+        peg.withdraw("u", 25)
+        assert peg.side.state.balance("u") == 35
+        assert main.state.balance("u") == 65
+
+    def test_audit_passes_honest_side(self):
+        clock = SimClock()
+        main = fresh_chain("main2", [("u", 100)])
+        peg = PeggedSidechain(main, clock, checkpoint_interval=1)
+        peg.deposit("u", 10)
+        assert peg.audit()
+
+    def test_audit_detects_side_rewrite(self):
+        clock = SimClock()
+        main = fresh_chain("main3", [("u", 100)])
+        peg = PeggedSidechain(main, clock, checkpoint_interval=1)
+        peg.deposit("u", 10)
+        # The operator rewrites a side block after checkpointing it.
+        peg.side.blocks[1].header.timestamp = 123_456
+        assert not peg.audit()
+
+    def test_checkpoints_follow_interval(self):
+        clock = SimClock()
+        main = fresh_chain("main4", [("u", 100)])
+        peg = PeggedSidechain(main, clock, checkpoint_interval=2)
+        peg.deposit("u", 5)
+        peg.deposit("u", 5)
+        assert peg.checkpoints_committed >= 1
+
+
+class TestBridge:
+    def _bridge(self, n_validators=3, unanimous=True):
+        clock = SimClock()
+        bridge = BridgeChain(
+            clock, [f"v{i}" for i in range(n_validators)],
+            unanimous=unanimous,
+        )
+        a = fresh_chain("b-a")
+        b = fresh_chain("b-b")
+        bridge.connect(a)
+        bridge.connect(b)
+        return bridge
+
+    def test_unanimous_delivery(self):
+        bridge = self._bridge()
+        outcome = bridge.send("b-a", "b-b", "provenance", {"x": 1})
+        assert outcome.completed
+        assert len(bridge.delivered_messages("b-b")) == 1
+        assert bridge.chain.height == 1    # committed on the bridge chain
+
+    def test_one_dissenter_blocks_unanimous(self):
+        bridge = self._bridge()
+        bridge.set_validator_honesty("v1", False)
+        outcome = bridge.send("b-a", "b-b", "provenance", {"x": 1})
+        assert outcome.status == "aborted"
+        assert len(bridge.delivered_messages("b-b")) == 0
+
+    def test_quorum_mode_tolerates_minority(self):
+        bridge = self._bridge(n_validators=4, unanimous=False)
+        bridge.set_validator_honesty("v3", False)
+        outcome = bridge.send("b-a", "b-b", "transfer", {"x": 1})
+        assert outcome.completed
+
+    def test_unknown_member_rejected(self):
+        bridge = self._bridge()
+        with pytest.raises(Exception):
+            bridge.submit("b-a", "ghost-chain", "k", {})
+
+    def test_message_filter_by_kind(self):
+        bridge = self._bridge()
+        bridge.send("b-a", "b-b", "provenance", {"x": 1})
+        bridge.send("b-a", "b-b", "stage_sync", {"y": 2})
+        assert len(bridge.delivered_messages("b-b", kind="stage_sync")) == 1

@@ -1,0 +1,404 @@
+"""Domain modules: scientific workflows, forensics, supply chain,
+healthcare, ML."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import SimClock
+from repro.domains import (
+    AssetGraph,
+    CaseManager,
+    ColdChainMonitor,
+    ConsentRegistry,
+    EHRSystem,
+    FLConfig,
+    FederatedLearning,
+    InvestigationStage,
+    PUFDevice,
+    SupplyChainRegistry,
+    TaskStatus,
+    WorkflowManager,
+)
+from repro.errors import (
+    AccessDenied,
+    ConsentError,
+    CustodyError,
+    DomainError,
+    WorkflowError,
+)
+from repro.provenance.capture import CaptureSink
+
+
+# ---------------------------------------------------------------------------
+# Scientific workflows (Figure 4)
+# ---------------------------------------------------------------------------
+class TestWorkflows:
+    @pytest.fixture
+    def manager(self, sink):
+        manager = WorkflowManager(sink, SimClock())
+        manager.create_workflow("w", "alice")
+        return manager
+
+    def _diamond(self, manager):
+        """t1 -> (t2, t3) -> t4: branching then merging."""
+        manager.design_task("w", "t1", "alice", ["src"], ["a"])
+        manager.design_task("w", "t2", "alice", ["a"], ["b"])
+        manager.design_task("w", "t3", "bob", ["a"], ["c"])
+        manager.design_task("w", "t4", "bob", ["b", "c"], ["result"])
+
+    def test_schedule_respects_dependencies(self, manager):
+        self._diamond(manager)
+        order = manager.execution_schedule("w")
+        assert order.index("t1") < order.index("t2")
+        assert order.index("t2") < order.index("t4")
+        assert order.index("t3") < order.index("t4")
+
+    def test_execute_out_of_order_rejected(self, manager):
+        self._diamond(manager)
+        with pytest.raises(WorkflowError):
+            manager.execute_task("t4")
+
+    def test_duplicate_output_producer_rejected(self, manager):
+        manager.design_task("w", "t1", "alice", ["src"], ["a"])
+        with pytest.raises(WorkflowError):
+            manager.design_task("w", "tX", "alice", ["src"], ["a"])
+
+    def test_input_output_overlap_rejected(self, manager):
+        with pytest.raises(WorkflowError):
+            manager.design_task("w", "t", "alice", ["x"], ["x"])
+
+    def test_invalidation_cascades_through_diamond(self, manager):
+        self._diamond(manager)
+        for task in manager.execution_schedule("w"):
+            manager.execute_task(task)
+        cascade = manager.invalidate_task("t1")
+        assert set(cascade) == {"t1", "t2", "t3", "t4"}
+        assert manager.tasks["t4"].status == TaskStatus.INVALIDATED
+
+    def test_partial_cascade(self, manager):
+        self._diamond(manager)
+        for task in manager.execution_schedule("w"):
+            manager.execute_task(task)
+        cascade = manager.invalidate_task("t2")
+        assert set(cascade) == {"t2", "t4"}
+        assert manager.tasks["t3"].status == TaskStatus.COMPLETED
+
+    def test_reexecution_restores_validity(self, manager):
+        self._diamond(manager)
+        for task in manager.execution_schedule("w"):
+            manager.execute_task(task)
+        cascade = manager.invalidate_task("t1")
+        for task in manager.execution_schedule("w"):
+            if task in cascade:
+                manager.re_execute(task)
+        assert manager.valid_results("w") == ["a", "b", "c", "result"]
+        assert manager.tasks["t1"].execution_count == 2
+
+    def test_reexecute_requires_invalidation(self, manager):
+        manager.design_task("w", "t1", "alice", ["src"], ["a"])
+        manager.execute_task("t1")
+        with pytest.raises(WorkflowError):
+            manager.re_execute("t1")
+
+    def test_records_emitted_per_lifecycle_step(self, manager, database):
+        manager.design_task("w", "t1", "alice", ["src"], ["a"])
+        manager.execute_task("t1")
+        manager.invalidate_task("t1")
+        ops = [r["operation"] for r in database.records()]
+        assert ops == ["execute", "invalidate"]
+
+    def test_provenance_graph_versions_outputs(self, manager):
+        manager.design_task("w", "t1", "alice", ["src"], ["a"])
+        manager.execute_task("t1")
+        assert manager.graph.has_node("a@1")
+        assert manager.graph.generating_activity("a@1") == "t1#run1"
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=2, max_value=12), st.integers(0, 100))
+    def test_property_cascade_is_impact_closed(self, n_tasks, seed):
+        """Everything downstream of an invalidated task must be
+        invalidated too — no stale results survive."""
+        from repro.workloads import WorkflowShape
+
+        sink = CaptureSink()
+        manager = WorkflowManager(sink, SimClock())
+        manager.create_workflow("w", "owner")
+        for spec in WorkflowShape(n_tasks=n_tasks, seed=seed).tasks():
+            manager.design_task("w", spec["task_id"], spec["user_id"],
+                                spec["inputs"], spec["outputs"])
+        for task in manager.execution_schedule("w"):
+            manager.execute_task(task)
+        manager.invalidate_task("task-0000")
+        for task in manager.tasks.values():
+            if task.status == TaskStatus.COMPLETED:
+                upstream_invalid = any(
+                    manager.tasks.get(dep) is not None
+                    and manager.tasks[dep].status == TaskStatus.INVALIDATED
+                    for dep in manager.execution_schedule("w")
+                    if set(manager.tasks[dep].outputs) & set(task.inputs)
+                )
+                assert not upstream_invalid
+
+
+# ---------------------------------------------------------------------------
+# Forensics (Figure 5)
+# ---------------------------------------------------------------------------
+class TestForensics:
+    @pytest.fixture
+    def cases(self, sink):
+        return CaseManager(sink, SimClock())
+
+    def test_stage_order_enforced(self, cases):
+        cases.open_case("C", "lead")
+        stages = []
+        for _ in range(4):
+            stages.append(cases.advance_stage("C", "lead").value)
+        assert stages == ["preservation", "collection", "analysis",
+                          "reporting"]
+        with pytest.raises(CustodyError):
+            cases.advance_stage("C", "lead")
+
+    def test_collect_requires_right_stage(self, cases):
+        cases.open_case("C", "lead")
+        with pytest.raises(CustodyError):
+            cases.collect_evidence("C", "e", "lead", b"x", "image")
+
+    def test_access_requires_collection_or_later(self, cases):
+        cases.open_case("C", "lead")
+        cases.advance_stage("C", "lead")
+        cases.collect_evidence("C", "e", "lead", b"x", "image")
+        with pytest.raises(CustodyError):
+            cases.access_evidence("C", "e", "analyst")
+
+    def test_close_requires_reporting(self, cases):
+        cases.open_case("C", "lead")
+        cases.advance_stage("C", "lead")
+        with pytest.raises(CustodyError):
+            cases.close_case("C", "lead")
+
+    def test_closed_case_frozen(self, cases):
+        cases.open_case("C", "lead")
+        for _ in range(4):
+            cases.advance_stage("C", "lead")
+        cases.close_case("C", "lead")
+        with pytest.raises(CustodyError):
+            cases.advance_stage("C", "lead")
+
+    def test_unknown_dependency_rejected(self, cases):
+        cases.open_case("C", "lead")
+        cases.advance_stage("C", "lead")
+        with pytest.raises(CustodyError):
+            cases.collect_evidence("C", "e", "lead", b"x", "image",
+                                   depends_on=["ghost"])
+
+    def test_chain_of_custody_grows(self, cases):
+        cases.open_case("C", "lead")
+        cases.advance_stage("C", "lead")
+        cases.collect_evidence("C", "e", "lead", b"x", "image")
+        cases.advance_stage("C", "lead")
+        cases.advance_stage("C", "lead")
+        cases.access_evidence("C", "e", "analyst-1")
+        cases.access_evidence("C", "e", "analyst-2")
+        custody = cases.chain_of_custody("C", "e")
+        assert [c.actor for c in custody] == ["lead", "analyst-1",
+                                              "analyst-2"]
+        assert cases.custody_intact("C")
+
+    def test_forest_proofs_per_stage(self, cases):
+        cases.open_case("C", "lead")
+        cases.advance_stage("C", "lead")
+        item = cases.collect_evidence("C", "e", "lead", b"x", "image")
+        proof = cases.prove_case_entry(
+            "C", InvestigationStage.PRESERVATION, 0
+        )
+        record = {"evidence_id": "e", "content_hash": item.content_hash,
+                  "actor": "lead", "timestamp": item.collected_at}
+        assert cases.cases["C"].forest.verify(record, proof)
+
+
+# ---------------------------------------------------------------------------
+# Supply chain
+# ---------------------------------------------------------------------------
+class TestSupplyChain:
+    @pytest.fixture
+    def registry(self, sink):
+        return SupplyChainRegistry(
+            sink, {"acme"}, SimClock(), ColdChainMonitor(20, 80)
+        )
+
+    def test_unauthorized_registration_blocked(self, registry):
+        with pytest.raises(CustodyError):
+            registry.register_product("counterfeiter", "p", "b", "t", 100)
+        assert registry.rejected_registrations == 1
+
+    def test_two_phase_transfer(self, registry):
+        registry.register_product("acme", "p", "b", "t", 100)
+        registry.initiate_transfer("p", "acme", "dist")
+        # Ownership does NOT change until confirmation.
+        assert registry.products["p"].owner == "acme"
+        registry.confirm_transfer("p", "dist")
+        assert registry.products["p"].owner == "dist"
+        assert registry.trace("p") == ["acme", "dist"]
+
+    def test_non_owner_cannot_initiate(self, registry):
+        registry.register_product("acme", "p", "b", "t", 100)
+        with pytest.raises(CustodyError):
+            registry.initiate_transfer("p", "thief", "thief-warehouse")
+
+    def test_unconfirmed_party_cannot_take(self, registry):
+        registry.register_product("acme", "p", "b", "t", 100)
+        registry.initiate_transfer("p", "acme", "dist")
+        with pytest.raises(CustodyError):
+            registry.confirm_transfer("p", "someone-else")
+
+    def test_cancel_pending_transfer(self, registry):
+        registry.register_product("acme", "p", "b", "t", 100)
+        registry.initiate_transfer("p", "acme", "dist")
+        registry.cancel_transfer("p", "acme")
+        with pytest.raises(CustodyError):
+            registry.confirm_transfer("p", "dist")
+
+    def test_puf_authentication(self, registry):
+        product = registry.register_product("acme", "p", "b", "t", 100,
+                                            with_puf=True)
+        assert registry.authenticate_device("p", product.device)
+        clone = PUFDevice.manufacture("p", seed=1234)   # different silicon
+        assert not registry.authenticate_device("p", clone)
+
+    def test_cold_chain_excursions(self, registry):
+        registry.register_product("acme", "p", "b", "vaccine", 100)
+        assert registry.record_temperature("p", "warehouse", 50)
+        assert not registry.record_temperature("p", "truck", 95)
+        assert len(registry.cold_chain.excursions_for("p")) == 1
+
+    def test_records_schema_valid(self, registry, database):
+        registry.register_product("acme", "p", "b", "t", 100)
+        from repro.provenance.records import validate_record
+
+        for record in database.records():
+            validate_record(record)
+
+
+# ---------------------------------------------------------------------------
+# Healthcare
+# ---------------------------------------------------------------------------
+class TestHealthcare:
+    @pytest.fixture
+    def ehr(self, sink):
+        system = EHRSystem(sink, SimClock())
+        system.credential_staff("dr-a", ["doctor"])
+        system.consents.grant("pat-1", "dr-a")
+        return system
+
+    def test_consented_write_and_read(self, ehr):
+        record = ehr.add_record("pat-1", "dr-a", ["note"], b"body",
+                                ["doctor"])
+        assert ehr.read_record(record.ehr_id, "dr-a") == b"body"
+
+    def test_unconsented_write_blocked(self, ehr):
+        ehr.credential_staff("dr-b", ["doctor"])
+        with pytest.raises(ConsentError):
+            ehr.add_record("pat-1", "dr-b", ["note"], b"x", ["doctor"])
+
+    def test_revoked_consent_blocks_reads(self, ehr):
+        record = ehr.add_record("pat-1", "dr-a", ["note"], b"x", ["doctor"])
+        ehr.consents.revoke("pat-1", "dr-a")
+        with pytest.raises(AccessDenied):
+            ehr.read_record(record.ehr_id, "dr-a")
+
+    def test_break_glass_bypasses_consent_not_audit(self, ehr):
+        record = ehr.add_record("pat-1", "dr-a", ["note"], b"x", ["doctor"])
+        ehr.credential_staff("dr-er", ["doctor"])
+        body = ehr.emergency_access(record.ehr_id, "dr-er", "cardiac arrest")
+        assert body == b"x"
+        assert len(ehr.emergency_report()) == 1
+        disclosures = ehr.disclosures_for("pat-1")
+        assert any(d["action"] == "emergency_read" for d in disclosures)
+
+    def test_denied_attempts_appear_in_disclosures(self, ehr):
+        record = ehr.add_record("pat-1", "dr-a", ["note"], b"x", ["doctor"])
+        ehr.credential_staff("dr-b", ["doctor"])
+        with pytest.raises(AccessDenied):
+            ehr.read_record(record.ehr_id, "dr-b")
+        disclosures = ehr.disclosures_for("pat-1")
+        assert any(not d["allowed"] for d in disclosures)
+
+    def test_provenance_carries_pseudonym_not_identity(self, ehr, database):
+        ehr.add_record("pat-1", "dr-a", ["note"], b"x", ["doctor"])
+        for record in database.records():
+            assert record["patient_pseudonym"].startswith("anon-")
+            assert "pat-1" not in str(record.values())
+
+    def test_audit_log_tamper_evident(self, ehr):
+        ehr.add_record("pat-1", "dr-a", ["note"], b"x", ["doctor"])
+        assert ehr.audit.verify()
+
+
+# ---------------------------------------------------------------------------
+# Machine learning
+# ---------------------------------------------------------------------------
+class TestMLAssets:
+    def test_lineage_and_usage(self):
+        graph = AssetGraph()
+        graph.register("d1", "dataset", "alice")
+        graph.register("d2", "dataset", "bob")
+        graph.register("op", "operation", "carol", parents=("d1", "d2"))
+        graph.register("model", "model", "carol", parents=("op",))
+        assert set(graph.lineage("model")) == {"op", "d1", "d2"}
+        assert graph.usage_counts() == {"d1": 2, "d2": 2}
+
+    def test_unknown_parent_rejected(self):
+        graph = AssetGraph()
+        with pytest.raises(DomainError):
+            graph.register("m", "model", "x", parents=("ghost",))
+
+    def test_bad_asset_type_rejected(self):
+        with pytest.raises(DomainError):
+            AssetGraph().register("x", "spreadsheet", "a")
+
+
+class TestFederatedLearning:
+    def test_honest_training_converges(self):
+        fl = FederatedLearning(FLConfig(seed=3))
+        errors = fl.run(20)
+        assert errors[-1] < 0.2
+        assert errors[-1] < errors[0]
+
+    def test_poisoning_without_defense_diverges(self):
+        fl = FederatedLearning(FLConfig(attacker_fraction=0.4,
+                                        defense="none", seed=3))
+        errors = fl.run(20)
+        assert errors[-1] > errors[0]     # pushed away from the target
+
+    def test_defense_survives_minority_attack(self):
+        fl = FederatedLearning(FLConfig(attacker_fraction=0.4,
+                                        defense="reputation", seed=3))
+        errors = fl.run(20)
+        assert errors[-1] < 0.5
+
+    def test_attackers_lose_reputation(self):
+        fl = FederatedLearning(FLConfig(attacker_fraction=0.3, seed=3))
+        fl.run(10)
+        attackers = [p for p in fl.participants if not p.honest]
+        honest = [p for p in fl.participants if p.honest]
+        assert max(p.reputation for p in attackers) < \
+            min(p.reputation for p in honest)
+
+    def test_freeriders_rejected(self):
+        fl = FederatedLearning(FLConfig(attacker_fraction=0.3,
+                                        attack_kind="freeride", seed=4))
+        stats = fl.run_round()
+        assert stats["rejected"] == 3
+
+    def test_round_records_emitted(self, sink, database):
+        fl = FederatedLearning(FLConfig(seed=1, n_participants=4), sink)
+        fl.run_round()
+        ops = [r["operation"] for r in database.records()]
+        assert ops.count("submit_update") == 4
+        assert ops.count("aggregate") == 1
+
+    def test_aggregate_record_links_updates(self, sink, database):
+        fl = FederatedLearning(FLConfig(seed=1, n_participants=3), sink)
+        fl.run_round()
+        aggregates = database.by_operation("aggregate")
+        assert len(aggregates[0]["parent_assets"]) == 3

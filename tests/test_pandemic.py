@@ -1,0 +1,81 @@
+"""The pandemic diagnostic platform (Abouyoussef et al., §4.3)."""
+
+import pytest
+
+from repro.errors import DomainError, PrivacyError
+from repro.systems import PandemicPlatform
+
+
+@pytest.fixture
+def platform():
+    platform = PandemicPlatform(["cdc", "ecdc"])
+    for patient in ("alice", "bob", "carol"):
+        platform.enroll_patient(patient)
+    return platform
+
+
+class TestSubmissions:
+    def test_positive_diagnosis(self, platform):
+        receipt = platform.submit_symptoms(
+            "alice", {"fever": 3, "anosmia": 3, "dyspnea": 2}
+        )
+        assert receipt.positive
+        assert receipt.confidence_pct > 50
+
+    def test_negative_diagnosis(self, platform):
+        receipt = platform.submit_symptoms("bob", {"cough": 1})
+        assert not receipt.positive
+
+    def test_unenrolled_patient_rejected(self, platform):
+        with pytest.raises(PrivacyError):
+            platform.submit_symptoms("stranger", {"fever": 3})
+
+    def test_severity_bounds(self, platform):
+        with pytest.raises(DomainError):
+            platform.submit_symptoms("alice", {"fever": 9})
+
+    def test_submissions_land_on_chain(self, platform):
+        platform.submit_symptoms("alice", {"fever": 2})
+        platform.submit_symptoms("bob", {"cough": 3, "fatigue": 3})
+        # deploy block + 2 submission blocks
+        assert platform.chain.height == 3
+        platform.chain.verify()
+
+
+class TestAnonymity:
+    def test_no_identities_on_chain(self, platform):
+        platform.submit_symptoms("alice", {"fever": 3})
+        platform.submit_symptoms("alice", {"fever": 1})
+        assert platform.submitters_are_anonymous()
+
+    def test_repeat_submissions_unlinkable(self, platform):
+        platform.submit_symptoms("alice", {"fever": 3})
+        platform.submit_symptoms("alice", {"fever": 3})
+        senders = [
+            tx.sender
+            for block in platform.chain.blocks
+            for tx in block.transactions
+            if tx.sender.startswith("anon-")
+        ]
+        assert len(senders) == 2
+        assert senders[0] != senders[1]
+
+    def test_manager_can_open_under_due_process(self, platform):
+        signature = platform.group.sign("carol", {"symptoms": [1, 0, 0, 0, 0]})
+        assert platform.open_submission(signature) == "carol"
+
+
+class TestAuthorityAccess:
+    def test_statistics_aggregate_only(self, platform):
+        platform.submit_symptoms("alice", {"fever": 3, "anosmia": 3})
+        platform.submit_symptoms("bob", {"cough": 1})
+        platform.submit_symptoms("carol", {"dyspnea": 3, "fever": 2})
+        tally = platform.statistics()
+        assert tally["positive"] + tally["negative"] == 3
+        assert tally["positive"] == 2
+
+    def test_detector_is_deterministic_and_auditable(self, platform):
+        a = platform.submit_symptoms("alice", {"fever": 2, "cough": 2})
+        b = platform.submit_symptoms("bob", {"fever": 2, "cough": 2})
+        assert a.positive == b.positive
+        assert a.confidence_pct == b.confidence_pct

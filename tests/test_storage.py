@@ -1,0 +1,214 @@
+"""Off-chain storage: CAS, cloud store, provenance database."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import AccessDenied, ObjectNotFound, QueryError, UnknownEntity
+from repro.storage import CloudObjectStore, ContentAddressedStore, ProvenanceDatabase
+
+
+class TestCAS:
+    def test_roundtrip_small(self):
+        cas = ContentAddressedStore()
+        cid = cas.put(b"hello")
+        assert cas.get(cid) == b"hello"
+
+    def test_roundtrip_chunked(self):
+        cas = ContentAddressedStore(chunk_size=16)
+        blob = bytes(range(256)) * 4
+        cid = cas.put(blob)
+        assert cid.kind == "manifest"
+        assert cas.get(cid) == blob
+
+    def test_content_addressing_same_content_same_cid(self):
+        cas = ContentAddressedStore()
+        assert cas.put(b"x").digest == cas.put(b"x").digest
+
+    def test_chunk_dedup(self):
+        cas = ContentAddressedStore(chunk_size=8)
+        cas.put(b"AAAAAAAA" * 10)      # 10 identical chunks
+        assert cas.dedup_hits >= 9
+
+    def test_verify_against_cid(self):
+        cas = ContentAddressedStore(chunk_size=8)
+        blob = b"0123456789abcdef" * 3
+        cid = cas.put(blob)
+        assert cas.verify(cid, blob)
+        assert not cas.verify(cid, blob + b"!")
+
+    def test_missing_object(self):
+        cas = ContentAddressedStore()
+        cid = cas.put(b"x")
+        empty = ContentAddressedStore()
+        with pytest.raises(ObjectNotFound):
+            empty.get(cid)
+
+    def test_gc_keeps_pinned(self):
+        cas = ContentAddressedStore(chunk_size=8)
+        keep = cas.put(b"keep me around please!", pin=True)
+        drop = cas.put(b"drop me entirely now!!", pin=False)
+        removed = cas.collect_garbage()
+        assert removed > 0
+        assert cas.has(keep)
+        assert not cas.has(drop)
+        assert cas.get(keep) == b"keep me around please!"
+
+    def test_unpin_then_gc(self):
+        cas = ContentAddressedStore()
+        cid = cas.put(b"data")
+        cas.unpin(cid)
+        cas.collect_garbage()
+        assert not cas.has(cid)
+
+    @settings(max_examples=30)
+    @given(st.binary(min_size=0, max_size=5000))
+    def test_property_roundtrip(self, blob):
+        cas = ContentAddressedStore(chunk_size=64)
+        cid = cas.put(blob)
+        assert cas.get(cid) == blob
+        assert cas.verify(cid, blob)
+
+
+class TestCloudStore:
+    def test_create_read_update_versions(self, clock):
+        store = CloudObjectStore(clock)
+        store.create("alice", "f", b"v0")
+        store.update("alice", "f", b"v1")
+        latest, _ = store.read("alice", "f")
+        assert latest == b"v1"
+        old, _ = store.read("alice", "f", version=0)
+        assert old == b"v0"
+
+    def test_ops_observed_in_order(self, clock):
+        store = CloudObjectStore(clock)
+        seen = []
+        store.add_observer(lambda op: seen.append(op.op))
+        store.create("alice", "f", b"x")
+        store.read("alice", "f")
+        store.delete("alice", "f")
+        assert seen == ["create", "read", "delete"]
+
+    def test_unshared_read_denied(self, clock):
+        store = CloudObjectStore(clock)
+        store.create("alice", "f", b"x")
+        with pytest.raises(AccessDenied):
+            store.read("bob", "f")
+
+    def test_share_grants_then_unshare_revokes(self, clock):
+        store = CloudObjectStore(clock)
+        store.create("alice", "f", b"x")
+        store.share("alice", "f", "bob")
+        content, _ = store.read("bob", "f")
+        assert content == b"x"
+        store.unshare("alice", "f", "bob")
+        with pytest.raises(AccessDenied):
+            store.read("bob", "f")
+
+    def test_only_owner_deletes(self, clock):
+        store = CloudObjectStore(clock)
+        store.create("alice", "f", b"x")
+        store.share("alice", "f", "bob")
+        with pytest.raises(AccessDenied):
+            store.delete("bob", "f")
+
+    def test_deleted_object_gone(self, clock):
+        store = CloudObjectStore(clock)
+        store.create("alice", "f", b"x")
+        store.delete("alice", "f")
+        with pytest.raises(ObjectNotFound):
+            store.read("alice", "f")
+
+    def test_user_log_chain_verifies(self, clock):
+        store = CloudObjectStore(clock)
+        store.create("alice", "f", b"x")
+        store.update("alice", "f", b"y")
+        assert store.verify_user_log("alice")
+
+    def test_duplicate_create_rejected(self, clock):
+        store = CloudObjectStore(clock)
+        store.create("alice", "f", b"x")
+        with pytest.raises(AccessDenied):
+            store.create("bob", "f", b"y")
+
+    def test_operations_on_object(self, clock):
+        store = CloudObjectStore(clock)
+        store.create("alice", "f", b"x")
+        store.create("alice", "g", b"y")
+        store.read("alice", "f")
+        assert len(store.operations_on("f")) == 2
+
+
+class TestProvenanceDatabase:
+    def _record(self, i, subject="s", actor="a", op="read", ts=None):
+        return {
+            "record_id": f"r{i}",
+            "subject": subject,
+            "actor": actor,
+            "operation": op,
+            "timestamp": ts if ts is not None else i,
+        }
+
+    def test_insert_and_get(self, database):
+        database.insert(self._record(1))
+        assert database.get("r1")["subject"] == "s"
+
+    def test_duplicate_id_rejected(self, database):
+        database.insert(self._record(1))
+        with pytest.raises(QueryError):
+            database.insert(self._record(1))
+
+    def test_missing_record(self, database):
+        with pytest.raises(UnknownEntity):
+            database.get("nope")
+
+    def test_subject_index_matches_scan(self, database):
+        for i in range(30):
+            database.insert(self._record(i, subject=f"s{i % 3}"))
+        indexed = database.by_subject("s1")
+        scanned = database.scan_subject("s1")
+        assert sorted(r["record_id"] for r in indexed) == \
+            sorted(r["record_id"] for r in scanned)
+        assert len(indexed) == 10
+
+    def test_time_range_query(self, database):
+        for i in range(20):
+            database.insert(self._record(i, ts=i * 10))
+        rows = database.by_time_range(50, 100)
+        assert [r["timestamp"] for r in rows] == [50, 60, 70, 80, 90]
+
+    def test_actor_and_operation_indexes(self, database):
+        database.insert(self._record(1, actor="alice", op="write"))
+        database.insert(self._record(2, actor="bob", op="read"))
+        assert len(database.by_actor("alice")) == 1
+        assert len(database.by_operation("read")) == 1
+
+    def test_annotate_preserves_indexes(self, database):
+        database.insert(self._record(1))
+        database.annotate("r1", anchor="anchor-1")
+        assert database.get("r1")["anchor"] == "anchor-1"
+        assert len(database.by_subject("s")) == 1
+
+    def test_record_without_id_rejected(self, database):
+        with pytest.raises(QueryError):
+            database.insert({"subject": "x"})
+
+    def test_returned_records_are_copies(self, database):
+        database.insert(self._record(1))
+        fetched = database.get("r1")
+        fetched["subject"] = "mutated"
+        assert database.get("r1")["subject"] == "s"
+
+    @settings(max_examples=25)
+    @given(st.lists(st.tuples(st.integers(0, 4), st.integers(0, 100)),
+                    min_size=1, max_size=40))
+    def test_property_time_range_equals_filter(self, items):
+        database = ProvenanceDatabase()
+        for i, (subj, ts) in enumerate(items):
+            database.insert(self._record(i, subject=f"s{subj}", ts=ts))
+        lo, hi = 20, 80
+        via_index = {r["record_id"] for r in database.by_time_range(lo, hi)}
+        via_scan = {
+            r["record_id"]
+            for r in database.scan(lambda r: lo <= r["timestamp"] < hi)
+        }
+        assert via_index == via_scan

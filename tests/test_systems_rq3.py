@@ -1,0 +1,178 @@
+"""RQ3 reference systems: SynergyChain, Vassago, ForensiCross."""
+
+import pytest
+
+from repro.errors import AccessDenied, BridgeError, QueryError
+from repro.systems import ForensiCross, SynergyChain, TrustedQueryEnclave, Vassago
+
+
+class TestSynergyChain:
+    @pytest.fixture
+    def system(self):
+        system = SynergyChain(["org-1", "org-2", "org-3"])
+        system.rbac.assign("guest-u", "guest")
+        system.rbac.assign("res-u", "researcher")
+        system.rbac.assign("adm-u", "admin")
+        for org in ("org-1", "org-2", "org-3"):
+            for i in range(10):
+                sensitivity = ("shared", "research", "restricted")[i % 3]
+                system.submit(org, {
+                    "record_id": f"{org}-r{i}",
+                    "domain": "generic",
+                    "subject": f"subj-{i % 5}",
+                    "actor": "writer",
+                    "operation": "op",
+                    "timestamp": i,
+                }, sensitivity=sensitivity)
+        return system
+
+    def test_aggregated_equals_sequential(self, system):
+        agg = system.query_aggregated("adm-u", "subj-2")
+        seq = system.query_sequential("adm-u", "subj-2")
+        assert sorted(r["record_id"].split(":")[-1] for r in agg) == \
+            sorted(r["record_id"] for r in seq)
+
+    def test_hierarchical_visibility(self, system):
+        guest = system.query_aggregated("guest-u", "subj-0")
+        researcher = system.query_aggregated("res-u", "subj-0")
+        admin = system.query_aggregated("adm-u", "subj-0")
+        assert len(guest) <= len(researcher) <= len(admin)
+        assert all(r["sensitivity"] == "shared" for r in guest)
+
+    def test_unknown_user_denied(self, system):
+        with pytest.raises(AccessDenied):
+            system.query_aggregated("stranger", "subj-0")
+
+    def test_sequential_touches_every_member(self, system):
+        before = system.sequential_scans
+        system.query_sequential("adm-u", "subj-1")
+        assert system.sequential_scans - before == 3
+
+    def test_writes_isolated_per_org_chain(self, system):
+        heights = system.member_heights()
+        assert all(h == 0 for h in heights.values())   # not yet flushed
+        system.finalize()
+        heights = system.member_heights()
+        assert all(h >= 1 for h in heights.values())
+
+
+class TestVassago:
+    @pytest.fixture
+    def system(self):
+        system = Vassago(["org-a", "org-b", "org-c"])
+        self.t1 = system.commit_tx("org-a", "u1", {"op": "create"})
+        self.t2 = system.commit_tx("org-b", "u2", {"op": "xform"},
+                                   depends_on=[self.t1])
+        self.t3 = system.commit_tx("org-a", "u1", {"op": "enrich"},
+                                   depends_on=[self.t1])
+        self.t4 = system.commit_tx("org-c", "u3", {"op": "merge"},
+                                   depends_on=[self.t2, self.t3])
+        return system
+
+    def test_dependency_guided_walk_complete(self, system):
+        hops = system.query_provenance(self.t4)
+        assert {h.tx_id for h in hops} == {self.t1, self.t2, self.t3,
+                                           self.t4}
+        assert all(h.proof_valid for h in hops)
+
+    def test_guided_beats_naive_cost(self, system):
+        system.query_provenance(self.t4)
+        guided = system.last_query_cost.txs_examined
+        system.query_provenance_naive(self.t4)
+        naive = system.last_query_cost.txs_examined
+        assert guided < naive
+
+    def test_guided_touches_only_relevant_chains(self, system):
+        t5 = system.commit_tx("org-b", "u2", {"op": "solo"})
+        system.query_provenance(t5)
+        assert system.last_query_cost.chains_touched == {"org-b"}
+
+    def test_naive_finds_same_set(self, system):
+        guided = {h.tx_id for h in system.query_provenance(self.t4)}
+        naive = {h.tx_id for h in system.query_provenance_naive(self.t4)}
+        assert guided == naive
+
+    def test_unknown_tx_rejected(self, system):
+        with pytest.raises(QueryError):
+            system.query_provenance("nonexistent")
+
+    def test_unknown_parent_rejected(self, system):
+        from repro.errors import CrossChainError
+
+        with pytest.raises(CrossChainError):
+            system.commit_tx("org-a", "u", {}, depends_on=["ghost"])
+
+    def test_dependency_chain_records_everything(self, system):
+        # One dependency-chain block per committed tx (+ genesis).
+        assert system.dependency_chain.height == 4
+
+    def test_tee_attestation_roundtrip(self, system):
+        enclave = TrustedQueryEnclave(system)
+        hops, attestation = enclave.attested_query(self.t4)
+        assert enclave.verify_attestation(hops, attestation)
+
+    def test_tee_attestation_binds_result(self, system):
+        enclave = TrustedQueryEnclave(system)
+        hops, attestation = enclave.attested_query(self.t4)
+        import dataclasses
+
+        tampered = [dataclasses.replace(hops[0], proof_valid=False),
+                    *hops[1:]]
+        assert not enclave.verify_attestation(tampered, attestation)
+
+
+class TestForensiCross:
+    @pytest.fixture
+    def system(self):
+        system = ForensiCross(["us", "eu"])
+        system.open_joint_case("JC", {"us": "smith", "eu": "mueller"})
+        return system
+
+    def test_stage_sync_advances_everywhere(self, system):
+        stage = system.sync_stage("JC", {"us": "smith", "eu": "mueller"})
+        assert stage == "preservation"
+        for org in ("us", "eu"):
+            assert system.orgs[org].cases.cases["JC"].stage.value == \
+                "preservation"
+
+    def test_unanimity_blocks_on_offline_org(self, system):
+        system.block_org("eu")
+        with pytest.raises(BridgeError):
+            system.sync_stage("JC", {"us": "smith", "eu": "mueller"})
+        # Neither org advanced.
+        for org in ("us", "eu"):
+            assert system.orgs[org].cases.cases["JC"].stage.value == \
+                "identification"
+
+    def test_evidence_share_verified_on_receipt(self, system):
+        system.sync_stage("JC", {"us": "smith", "eu": "mueller"})
+        system.orgs["us"].collect_evidence("JC", "ev", "smith",
+                                           b"payload", "image")
+        assert system.share_evidence("JC", "us", "eu", "ev", "smith")
+        delivered = system.bridge.delivered_messages(
+            system.orgs["eu"].chain.chain_id, kind="evidence_share"
+        )
+        assert len(delivered) == 1
+        assert delivered[0]["body"]["evidence_id"] == "ev"
+
+    def test_cross_chain_extraction_verifies_both(self, system):
+        system.sync_stage("JC", {"us": "smith", "eu": "mueller"})
+        system.orgs["us"].collect_evidence("JC", "ev", "smith", b"x",
+                                           "image")
+        bundle = system.extract_cross_chain(
+            "JC", {"us": "smith", "eu": "mueller"}
+        )
+        assert bundle["all_verified"]
+        assert set(bundle["organizations"]) == {"us", "eu"}
+
+    def test_unblock_restores_progress(self, system):
+        system.block_org("eu")
+        with pytest.raises(BridgeError):
+            system.sync_stage("JC", {"us": "smith", "eu": "mueller"})
+        system.unblock_org("eu")
+        assert system.sync_stage("JC", {"us": "smith", "eu": "mueller"}) \
+            == "preservation"
+
+    def test_needs_two_orgs(self):
+        with pytest.raises(ValueError):
+            ForensiCross(["solo"])
