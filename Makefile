@@ -1,0 +1,20 @@
+# Development entry points.  PYTHONPATH is set so the src layout works
+# without an editable install.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench-smoke bench-hotpath
+
+# Tier-1 verification: the full test suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Fast CI-friendly run of the hot-path benchmark (small sizes).
+bench-smoke:
+	$(PYTHON) benchmarks/bench_perf_hotpath.py --smoke
+
+# Full hot-path benchmark; writes BENCH_perf_hotpath.json and asserts
+# the acceptance floors (verify >= 5x, reorg >= 10x).
+bench-hotpath:
+	$(PYTHON) benchmarks/bench_perf_hotpath.py

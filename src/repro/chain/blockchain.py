@@ -8,11 +8,20 @@ Responsibilities:
   through a pluggable executor, collecting receipts and events,
 * verify the whole chain after the fact (:meth:`verify`), which is the
   operation that *detects* the Figure-2 tampering scenario,
-* support simple longest-chain reorganizations for the consensus sims.
+* support longest-chain reorganizations for the consensus sims — O(delta)
+  via a per-block state undo journal, falling back to genesis replay only
+  when the fork is deeper than the journal window.
+
+Hot-path vs auditor split: :meth:`append_block` trusts the Merkle tree the
+block built at construction (builder and appender are the same process),
+while :meth:`verify` / :meth:`first_broken_height` always rebuild the tree
+from the transaction hashes — and with ``deep=True`` recompute even those
+from raw payload bytes, defeating any stale cache.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
 
@@ -21,6 +30,7 @@ from ..errors import ForkError, InvalidBlock, TamperDetected
 from .block import Block, GENESIS_PREV_HASH
 from .receipts import Event, TransactionReceipt
 from .state import StateStore
+from . import transaction as _tx_mod
 from .transaction import Transaction, TxKind
 
 # An executor applies one transaction to state, returning a receipt.
@@ -38,6 +48,10 @@ class ChainParams:
     # Free-form descriptors used by cross-chain compatibility checks.
     visibility: str = "private"          # "public" | "private" | "consortium"
     extra: Mapping[str, Any] = field(default_factory=dict)
+    # How many recent blocks keep a state undo journal for O(delta)
+    # reorgs.  Deeper forks fall back to replay-from-genesis; 0 disables
+    # journaling entirely (the replay-only baseline).
+    reorg_journal_depth: int = 64
 
 
 def default_executor(
@@ -106,6 +120,9 @@ class Blockchain:
         self.blocks: list[Block] = []
         self.receipts: dict[str, TransactionReceipt] = {}
         self._tx_index: dict[str, tuple[int, int]] = {}  # tx_id -> (height, pos)
+        # Snapshot handles for the journaled tail of the chain; entry i
+        # (from the right) undoes block `height - i`.
+        self._block_snaps: deque[int] = deque()
         self.contract_runtime = None  # set by ContractRuntime.attach()
         self._subscribers: list[Callable[[Block, list[TransactionReceipt]], None]] = []
         genesis = Block(
@@ -192,19 +209,46 @@ class Blockchain:
     def append_block(self, block: Block) -> list[TransactionReceipt]:
         """Validate, execute, and commit ``block``; returns its receipts."""
         self._validate_linkage(block, expected_height=self.height + 1)
-        block.verify_structure()
+        # Hot path: trust the tree the block built at construction — the
+        # auditor paths (verify / first_broken_height) rebuild it.  When
+        # the benchmark lever disables caching, fall back to the seed's
+        # full rebuild so the baseline is faithful.
+        block.verify_structure(use_cached_tree=_tx_mod.HASH_CACHING_ENABLED)
         for tx in block.transactions:
             tx.validate(require_signature=self.params.require_signatures)
-        receipts = []
-        for pos, tx in enumerate(block.transactions):
-            receipt = self.executor(tx, self.state, self)
-            receipt.block_height = block.height
-            receipts.append(receipt)
-            self.receipts[tx.tx_id] = receipt
-            self._tx_index[tx.tx_id] = (block.height, pos)
-        self.blocks.append(block)
+        receipts = self._commit_block(block)
         for callback in self._subscribers:
             callback(block, receipts)
+        return receipts
+
+    def _commit_block(self, block: Block) -> list[TransactionReceipt]:
+        """Execute and attach an already-validated block (shared by
+        append, reorg, and replay; fires no subscribers)."""
+        depth = self.params.reorg_journal_depth
+        if depth > 0:
+            self._block_snaps.append(self.state.snapshot())
+        receipts = []
+        try:
+            for pos, tx in enumerate(block.transactions):
+                receipt = self.executor(tx, self.state, self)
+                receipt.block_height = block.height
+                receipts.append(receipt)
+                self.receipts[tx.tx_id] = receipt
+                self._tx_index[tx.tx_id] = (block.height, pos)
+        except BaseException:
+            # A raising (custom) executor must not leave a half-applied
+            # block behind: unwind state and bookkeeping so the journal
+            # stays aligned with the committed blocks.
+            if depth > 0:
+                self.state.rollback(self._block_snaps.pop())
+            for tx in block.transactions:
+                self.receipts.pop(tx.tx_id, None)
+                self._tx_index.pop(tx.tx_id, None)
+            raise
+        self.blocks.append(block)
+        if depth > 0 and len(self._block_snaps) > depth:
+            self.state.prune_oldest_snapshot()
+            self._block_snaps.popleft()
         return receipts
 
     def _validate_linkage(self, block: Block, expected_height: int) -> None:
@@ -221,12 +265,15 @@ class Blockchain:
     # ------------------------------------------------------------------
     # Whole-chain verification (tamper detection)
     # ------------------------------------------------------------------
-    def verify(self) -> None:
+    def verify(self, deep: bool = False) -> None:
         """Re-verify every block and link; raises :class:`TamperDetected`.
 
         This is the auditor's operation: it detects any post-hoc mutation
         of a committed transaction or header, and reports *where* the
-        chain breaks.
+        chain breaks.  Merkle trees are always rebuilt (cached roots are
+        never trusted here); ``deep=True`` additionally recomputes every
+        transaction and header hash from raw bytes, which also catches
+        in-place mutation of an unsealed payload mapping.
         """
         prev_hash = GENESIS_PREV_HASH
         for block in self.blocks:
@@ -236,28 +283,31 @@ class Blockchain:
                     "does not match preceding block"
                 )
             try:
-                block.verify_structure()
+                block.verify_structure(deep=deep)
             except InvalidBlock as exc:
                 raise TamperDetected(str(exc)) from exc
-            prev_hash = block.header.block_hash
+            prev_hash = (block.header.compute_block_hash() if deep
+                         else block.header.block_hash)
 
-    def is_intact(self) -> bool:
+    def is_intact(self, deep: bool = False) -> bool:
         """Boolean form of :meth:`verify`."""
         try:
-            self.verify()
+            self.verify(deep=deep)
         except TamperDetected:
             return False
         return True
 
-    def first_broken_height(self) -> int | None:
+    def first_broken_height(self, deep: bool = False) -> int | None:
         """Height of the first integrity violation, or ``None`` if intact."""
         prev_hash = GENESIS_PREV_HASH
         for block in self.blocks:
             if block.header.prev_hash != prev_hash:
                 return block.height
-            if block.recompute_merkle_root() != block.header.merkle_root:
+            if block.recompute_merkle_root(deep=deep) != \
+                    block.header.merkle_root:
                 return block.height
-            prev_hash = block.header.block_hash
+            prev_hash = (block.header.compute_block_hash() if deep
+                         else block.header.block_hash)
         return None
 
     # ------------------------------------------------------------------
@@ -285,38 +335,64 @@ class Blockchain:
     def reorg_to(self, new_suffix: list[Block], fork_height: int) -> None:
         """Replace blocks above ``fork_height`` with ``new_suffix``.
 
-        Only accepts strictly longer chains (longest-chain rule).  State is
-        rebuilt by replaying from genesis — simple and obviously correct,
-        at simulation scale.
+        Only accepts strictly longer chains (longest-chain rule).
+        Candidate validation starts at the fork point — the kept prefix
+        was validated when it was committed.  State is rewound with the
+        per-block undo journal when the fork is within the journal window
+        (O(delta) in the number of replaced + new blocks), and only falls
+        back to a full replay from genesis for deeper forks.
+
+        Caveat: the journal path rewinds to the exact fork-point state,
+        while the replay fallback rebuilds from a fresh
+        :class:`StateStore` and therefore discards state written
+        *outside* block execution (direct ``state.set``/``credit`` calls,
+        a test-fixture convenience).  Chains whose state comes entirely
+        from executed transactions — every production flow — get
+        identical results from both paths.
         """
         if fork_height < 0 or fork_height > self.height:
             raise ForkError(f"fork height {fork_height} out of range")
         if fork_height + len(new_suffix) <= self.height:
             raise ForkError("refusing reorg: new chain is not longer")
-        kept = self.blocks[: fork_height + 1]
-        candidate = kept + list(new_suffix)
-        # Validate linkage of the candidate before committing to it.
-        for i in range(1, len(candidate)):
-            if candidate[i].header.prev_hash != candidate[i - 1].block_hash:
+        # Validate the new suffix against the kept prefix only.
+        prev = self.blocks[fork_height]
+        for i, block in enumerate(new_suffix):
+            if block.header.prev_hash != prev.block_hash:
                 raise ForkError(f"candidate chain broken at index {i}")
-            candidate[i].verify_structure()
-        self._replay(candidate)
+            if block.height != fork_height + 1 + i:
+                raise ForkError(
+                    f"candidate block at index {i} has height "
+                    f"{block.height}, expected {fork_height + 1 + i}"
+                )
+            block.verify_structure()
+            prev = block
+        delta = self.height - fork_height
+        if delta <= len(self._block_snaps):
+            for _ in range(delta):
+                self._rollback_head_block()
+            for block in new_suffix:
+                self._commit_block(block)
+        else:
+            self._replay(self.blocks[: fork_height + 1] + list(new_suffix))
+
+    def _rollback_head_block(self) -> None:
+        """Undo the head block: state, receipts, and index (O(block))."""
+        block = self.blocks.pop()
+        self.state.rollback(self._block_snaps.pop())
+        for tx in block.transactions:
+            self.receipts.pop(tx.tx_id, None)
+            self._tx_index.pop(tx.tx_id, None)
 
     def _replay(self, blocks: list[Block]) -> None:
+        """Rebuild chain state from scratch (deep-fork fallback)."""
         self.state = StateStore()
         self.receipts.clear()
         self._tx_index.clear()
+        self._block_snaps.clear()
         self.blocks = [blocks[0]]
         for block in blocks[1:]:
             # Re-execute without re-validating signatures (already done).
-            receipts = []
-            for pos, tx in enumerate(block.transactions):
-                receipt = self.executor(tx, self.state, self)
-                receipt.block_height = block.height
-                receipts.append(receipt)
-                self.receipts[tx.tx_id] = receipt
-                self._tx_index[tx.tx_id] = (block.height, pos)
-            self.blocks.append(block)
+            self._commit_block(block)
 
     # ------------------------------------------------------------------
     # Size accounting

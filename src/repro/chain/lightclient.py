@@ -41,6 +41,10 @@ class LightClient:
     def __init__(self, chain_id: str) -> None:
         self.chain_id = chain_id
         self._headers: list[BlockHeader] = []
+        # Hash of the current head, computed once per accepted header so
+        # linkage checks never re-hash history (headers may be shared
+        # with a full node whose own caches we do not rely on).
+        self._head_hash: bytes | None = None
 
     # ------------------------------------------------------------------
     # Header sync
@@ -58,11 +62,12 @@ class LightClient:
                     f"expected header height {head.height + 1}, "
                     f"got {header.height}"
                 )
-            if header.prev_hash != head.block_hash:
+            if header.prev_hash != self._head_hash:
                 raise TamperDetected(
                     f"header {header.height} does not link to our head"
                 )
         self._headers.append(header)
+        self._head_hash = header.block_hash
 
     def sync_from(self, chain) -> int:
         """Pull any headers we are missing from a full node."""

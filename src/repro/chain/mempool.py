@@ -16,7 +16,14 @@ from .transaction import Transaction
 
 
 class Mempool:
-    """A bounded, deduplicating, fee-prioritized transaction pool."""
+    """A bounded, deduplicating, fee-prioritized transaction pool.
+
+    Dedup and ordering key on ``tx.tx_id``, which the transaction caches
+    after first computation — admission is one hash for a fresh
+    transaction and a dict probe for a duplicate.  Removed transactions
+    leave stale heap entries that are skipped lazily; a stale counter
+    keeps :meth:`peek_batch` from sorting the whole heap.
+    """
 
     def __init__(self, capacity: int = 100_000) -> None:
         if capacity <= 0:
@@ -25,6 +32,7 @@ class Mempool:
         self._heap: list[tuple[int, int, str]] = []  # (-fee, seq, tx_id)
         self._by_id: dict[str, Transaction] = {}
         self._seq = 0
+        self._stale = 0  # heap entries whose tx was removed
         self.total_accepted = 0
         self.total_rejected = 0
 
@@ -65,13 +73,20 @@ class Mempool:
             tx = self._by_id.pop(tx_id, None)
             if tx is not None:  # skip entries removed via `remove`
                 batch.append(tx)
+            else:
+                self._stale -= 1
         return batch
 
     def peek_batch(self, max_count: int) -> list[Transaction]:
-        """Return (without removing) the next batch in priority order."""
-        snapshot = sorted(self._heap)
+        """Return (without removing) the next batch in priority order.
+
+        O(n + k log n) via a partial selection over the heap — at most
+        ``max_count`` plus the known number of stale entries are sorted,
+        not the whole pool.
+        """
+        want = max_count + self._stale
         batch = []
-        for _, _, tx_id in snapshot:
+        for _, _, tx_id in heapq.nsmallest(want, self._heap):
             tx = self._by_id.get(tx_id)
             if tx is not None:
                 batch.append(tx)
@@ -86,8 +101,10 @@ class Mempool:
             if self._by_id.pop(tx_id, None) is not None:
                 removed += 1
         # Stale heap entries are lazily skipped in pop_batch.
+        self._stale += removed
         return removed
 
     def clear(self) -> None:
         self._heap.clear()
         self._by_id.clear()
+        self._stale = 0

@@ -5,8 +5,20 @@ storage, registered provenance anchors.  A flat namespaced key-value store
 is enough for every system in the library, and keeping it simple makes
 determinism easy to audit.
 
-Snapshots support contract revert semantics: the runtime snapshots before
-each call and rolls back on :class:`~repro.errors.ContractReverted`.
+Snapshots support two distinct users:
+
+* contract revert semantics — the runtime snapshots before each call and
+  rolls back on :class:`~repro.errors.ContractReverted`;
+* O(delta) reorgs — :class:`~repro.chain.blockchain.Blockchain` opens one
+  snapshot per committed block and rolls the stack back to the fork point
+  instead of replaying from genesis.  :meth:`prune_oldest_snapshot` lets
+  it bound the journal to a reorg window.
+
+Performance notes: a per-namespace index makes :meth:`items` O(|namespace|)
+instead of a full-store scan, and :meth:`state_root` is maintained
+incrementally — writes mark keys dirty, and the root call folds only the
+dirty keys into an order-independent accumulator (O(changes since the last
+root), not O(state)).
 """
 
 from __future__ import annotations
@@ -37,8 +49,20 @@ class StateStore:
 
     def __init__(self) -> None:
         self._data: dict[tuple[str, str], Any] = {}
-        # Undo journal: list of (key, had_value, old_value) per snapshot.
-        self._journal: list[list[tuple[tuple[str, str], bool, Any]]] = []
+        # Per-namespace index: namespace -> {key: value} (values shared
+        # with _data, never copied).
+        self._ns: dict[str, dict[str, Any]] = {}
+        # Undo journal: stack of (snapshot_id, [(key, had, old), ...]).
+        # Ids are monotonic so pruning the bottom frame never renumbers
+        # the handles still on the stack.
+        self._journal: list[tuple[int, list[tuple[tuple[str, str], bool, Any]]]] = []
+        self._next_snapshot_id = 0
+        # Incremental state-root bookkeeping: per-entry digest
+        # contributions XOR-folded into an accumulator, refreshed lazily
+        # for dirty keys at state_root() time.
+        self._root_acc = 0
+        self._entry_digests: dict[tuple[str, str], int] = {}
+        self._dirty: set[tuple[str, str]] = set()
 
     # ------------------------------------------------------------------
     # Raw access
@@ -50,29 +74,56 @@ class StateStore:
         full_key = (namespace, key)
         if self._journal:
             had = full_key in self._data
-            self._journal[-1].append((full_key, had, self._data.get(full_key)))
-        self._data[full_key] = value
+            self._journal[-1][1].append(
+                (full_key, had, self._data.get(full_key))
+            )
+        self._write(full_key, value)
 
     def delete(self, namespace: str, key: str) -> None:
         full_key = (namespace, key)
         if full_key in self._data:
             if self._journal:
-                self._journal[-1].append((full_key, True, self._data[full_key]))
-            del self._data[full_key]
+                self._journal[-1][1].append(
+                    (full_key, True, self._data[full_key])
+                )
+            self._erase(full_key)
 
     def contains(self, namespace: str, key: str) -> bool:
         return (namespace, key) in self._data
 
     def items(self, namespace: str) -> Iterator[tuple[str, Any]]:
-        """Iterate ``(key, value)`` pairs within a namespace (sorted)."""
-        selected = [
-            (k[1], v) for k, v in self._data.items() if k[0] == namespace
-        ]
-        selected.sort(key=lambda kv: kv[0])
-        return iter(selected)
+        """Iterate ``(key, value)`` pairs within a namespace (sorted).
+
+        Served from the per-namespace index: O(|namespace| log) rather
+        than a scan over the whole store.
+        """
+        bucket = self._ns.get(namespace)
+        if not bucket:
+            return iter(())
+        return iter(sorted(bucket.items()))
 
     def __len__(self) -> int:
         return len(self._data)
+
+    # ------------------------------------------------------------------
+    # Internal single mutation path (keeps index + root bookkeeping
+    # consistent for sets, deletes, and rollback restores alike)
+    # ------------------------------------------------------------------
+    def _write(self, full_key: tuple[str, str], value: Any) -> None:
+        self._data[full_key] = value
+        self._ns.setdefault(full_key[0], {})[full_key[1]] = value
+        self._dirty.add(full_key)
+
+    def _erase(self, full_key: tuple[str, str]) -> None:
+        if full_key not in self._data:
+            return
+        del self._data[full_key]
+        bucket = self._ns.get(full_key[0])
+        if bucket is not None:
+            bucket.pop(full_key[1], None)
+            if not bucket:
+                del self._ns[full_key[0]]
+        self._dirty.add(full_key)
 
     # ------------------------------------------------------------------
     # Balances
@@ -104,43 +155,90 @@ class StateStore:
     # ------------------------------------------------------------------
     def snapshot(self) -> int:
         """Open a snapshot; returns a handle for :meth:`rollback`."""
-        self._journal.append([])
-        return len(self._journal) - 1
+        handle = self._next_snapshot_id
+        self._next_snapshot_id += 1
+        self._journal.append((handle, []))
+        return handle
 
     def commit_snapshot(self, handle: int) -> None:
         """Discard the undo log for ``handle`` (changes become permanent
         relative to that snapshot), folding it into the parent if any."""
         self._check_handle(handle)
-        entries = self._journal.pop()
+        _, entries = self._journal.pop()
         if self._journal:
             # Parent snapshot must still be able to undo these changes.
-            self._journal[-1].extend(entries)
+            self._journal[-1][1].extend(entries)
 
     def rollback(self, handle: int) -> None:
         """Undo every change made since ``handle`` was taken."""
         self._check_handle(handle)
-        entries = self._journal.pop()
+        _, entries = self._journal.pop()
         for full_key, had, old in reversed(entries):
             if had:
-                self._data[full_key] = old
+                self._write(full_key, old)
             else:
-                self._data.pop(full_key, None)
+                self._erase(full_key)
+
+    def prune_oldest_snapshot(self) -> None:
+        """Drop the *bottom* journal frame, abandoning its undo info.
+
+        Used by the chain to bound the reorg journal: state older than the
+        reorg window becomes permanent.  Handles of frames still on the
+        stack are unaffected (ids are monotonic, not positional).
+        """
+        if not self._journal:
+            raise ChainError("no snapshot to prune")
+        del self._journal[0]
+
+    @property
+    def open_snapshots(self) -> int:
+        return len(self._journal)
 
     def _check_handle(self, handle: int) -> None:
-        if handle != len(self._journal) - 1:
+        if not self._journal or handle != self._journal[-1][0]:
+            top = self._journal[-1][0] if self._journal else None
             raise ChainError(
-                f"snapshot handles must nest: got {handle}, "
-                f"expected {len(self._journal) - 1}"
+                f"snapshot handles must nest: got {handle}, expected {top}"
             )
 
     # ------------------------------------------------------------------
     # Hashing (state commitments)
     # ------------------------------------------------------------------
     def state_root(self) -> bytes:
-        """Deterministic digest over the full state (cheap state anchor)."""
-        from ..crypto.hashing import hash_canonical
+        """Deterministic digest over the full state (cheap state anchor).
 
-        flat = {
-            f"{ns}\x00{key}": value for (ns, key), value in self._data.items()
-        }
-        return hash_canonical(flat)
+        Incrementally maintained: each entry contributes
+        ``H(namespace, key, value)`` XOR-folded into an accumulator;
+        writes only mark keys dirty and this call refreshes the dirty
+        contributions, so the cost is O(changes since the last call).
+        The digest is order-independent but content-determined: two
+        stores holding the same entries produce the same root however
+        they got there.  (An XOR set-hash is not collision-resistant
+        against adversarial *entry* choice — acceptable for a simulation
+        anchor; entries here are produced by deterministic executors.)
+        """
+        from ..crypto.hashing import hash_bytes, hash_canonical
+
+        if self._dirty:
+            acc = self._root_acc
+            digests = self._entry_digests
+            for full_key in self._dirty:
+                old = digests.pop(full_key, 0)
+                acc ^= old
+                if full_key in self._data:
+                    new = int.from_bytes(
+                        hash_canonical(
+                            [full_key[0], full_key[1],
+                             self._data[full_key]]
+                        ),
+                        "big",
+                    )
+                    digests[full_key] = new
+                    acc ^= new
+            self._root_acc = acc
+            self._dirty.clear()
+        body = (
+            len(self._data).to_bytes(8, "big")
+            + self._root_acc.to_bytes(32, "big")
+        )
+        return hash_bytes(body, b"state-root-v2:")

@@ -3,17 +3,62 @@
 A transaction is the unit every higher layer reduces to: a provenance
 record anchor, a contract invocation, a cross-chain transfer leg — all are
 transactions of a particular :class:`TxKind` with a structured payload.
+
+Caching / seal invariants (the hot-path contract)
+-------------------------------------------------
+
+``tx_hash`` / ``tx_id`` / ``size_bytes`` and the canonical encoding of the
+signing body are computed **once** and cached on the instance.  The caches
+are kept honest two ways:
+
+* **Invalidate-on-assign** — assigning any hash-covered field (``sender``,
+  ``kind``, ``payload``, ``nonce``, ``timestamp``, ``fee``) drops every
+  cache, so a mutated transaction always re-hashes to its *current*
+  content.  This is what keeps tamper detection intact: overwriting a
+  committed transaction's payload changes its ``tx_hash`` on the next
+  read, which breaks the block's Merkle root.
+* **Seal discipline** — :meth:`seal` freezes the transaction: the payload
+  is snapshotted behind a read-only mapping proxy, the canonical encoding
+  is pinned (shared by signing, hashing, and size accounting via the
+  identity-keyed encode cache in :mod:`repro.serialization`), and any
+  further assignment to a hash-covered field raises
+  :class:`~repro.errors.SealedMutation`.
+
+The one hole left open by design: mutating the payload *dict in place* on
+an **unsealed** transaction after its hash was read is not detected by the
+cached fast path — sealed transactions make that impossible, and the
+auditor paths (``Blockchain.verify(deep=True)``) recompute from scratch.
+
+``HASH_CACHING_ENABLED`` is a module-level switch the hot-path benchmark
+flips off to measure the recompute-every-read baseline; leave it on.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from types import MappingProxyType
 from typing import Any, Mapping
 
-from ..crypto.hashing import DOMAIN_TX, hash_canonical
-from ..crypto.signatures import KeyPair, PublicKey, verify
-from ..errors import InvalidTransaction
+from ..crypto.hashing import DOMAIN_TX, hash_bytes
+from ..crypto.signatures import (
+    KeyPair,
+    PublicKey,
+    sign_encoded,
+    verify_encoded,
+)
+from ..errors import InvalidTransaction, SealedMutation
+from ..serialization import canonical_encode
+
+# Benchmark lever: when False, every hash/encode read recomputes from
+# scratch (the seed's behavior).  Production code never touches this.
+HASH_CACHING_ENABLED = True
+
+# Fields covered by the transaction hash and signature.  Assigning any of
+# them invalidates the caches (or raises, once sealed).
+_HASH_FIELDS = frozenset(
+    {"sender", "kind", "payload", "nonce", "timestamp", "fee"}
+)
 
 
 class TxKind(str, Enum):
@@ -49,6 +94,52 @@ class Transaction:
     signer: PublicKey | None = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
+    # Cache discipline
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in _HASH_FIELDS:
+            d = self.__dict__
+            if d.get("_sealed", False):
+                raise SealedMutation(
+                    f"transaction {d.get('_cache_id', '?')[:12]} is sealed; "
+                    f"cannot assign {name!r}"
+                )
+            d.pop("_cache_encoded", None)
+            d.pop("_cache_hash", None)
+            d.pop("_cache_id", None)
+        object.__setattr__(self, name, value)
+
+    @property
+    def is_sealed(self) -> bool:
+        return self.__dict__.get("_sealed", False)
+
+    def seal(self) -> "Transaction":
+        """Freeze the transaction and pin its caches.
+
+        The payload is snapshotted behind a read-only proxy (in-place
+        mutation through ``self.payload`` becomes impossible), the
+        canonical encoding and hash are precomputed, and later assignment
+        to hash-covered fields raises :class:`SealedMutation`.  Idempotent.
+        """
+        d = self.__dict__
+        if d.get("_sealed", False):
+            return self
+        # Snapshot the payload so a caller-held reference to the original
+        # dict can no longer reach the sealed content.
+        d["payload"] = MappingProxyType(dict(self.payload))
+        d.pop("_cache_encoded", None)
+        d.pop("_cache_hash", None)
+        d.pop("_cache_id", None)
+        encoded = self._encoded_body()
+        _ = self.tx_id  # populate hash caches
+        d["_sealed"] = True
+        # Identity-keyed encode cache hook (see repro.serialization): a
+        # sealed transaction embedded in a larger structure encodes from
+        # these pinned bytes.
+        d["_canonical_cache"] = encoded
+        return self
+
+    # ------------------------------------------------------------------
     # Identity
     # ------------------------------------------------------------------
     def signing_body(self) -> dict:
@@ -62,15 +153,44 @@ class Transaction:
             "fee": self.fee,
         }
 
+    def _encoded_body(self) -> bytes:
+        """Canonical encoding of the signing body, computed once.
+
+        Shared by hashing (``tx_hash``), signing (:meth:`sign_with` /
+        :meth:`verify_signature`), and size accounting (``size_bytes``).
+        """
+        encoded = self.__dict__.get("_cache_encoded")
+        if encoded is None or not HASH_CACHING_ENABLED:
+            encoded = canonical_encode(self.signing_body())
+            self.__dict__["_cache_encoded"] = encoded
+        return encoded
+
     @property
     def tx_hash(self) -> bytes:
-        return hash_canonical(self.signing_body(), DOMAIN_TX)
+        h = self.__dict__.get("_cache_hash")
+        if h is None or not HASH_CACHING_ENABLED:
+            h = hash_bytes(self._encoded_body(), DOMAIN_TX)
+            self.__dict__["_cache_hash"] = h
+        return h
 
     @property
     def tx_id(self) -> str:
         """Hex transaction id (prefix of the hash, collision-safe enough
         for in-process simulation sizes)."""
-        return self.tx_hash.hex()
+        i = self.__dict__.get("_cache_id")
+        if i is None or not HASH_CACHING_ENABLED:
+            i = self.tx_hash.hex()
+            self.__dict__["_cache_id"] = i
+        return i
+
+    def compute_tx_hash(self) -> bytes:
+        """Recompute the hash of the *current* content, bypassing caches.
+
+        This is the auditor primitive: ``Blockchain.verify(deep=True)``
+        uses it so even in-place payload mutation cannot hide behind a
+        stale cache.  Does not touch the caches.
+        """
+        return hash_bytes(canonical_encode(self.signing_body()), DOMAIN_TX)
 
     def to_canonical(self) -> dict:
         return self.signing_body()
@@ -85,7 +205,7 @@ class Transaction:
                 f"sender {self.sender!r} does not match signing key "
                 f"address {keypair.address!r}"
             )
-        self.signature = keypair.sign(self.signing_body())
+        self.signature = sign_encoded(self._encoded_body(), keypair.private)
         self.signer = keypair.public
         return self
 
@@ -95,7 +215,8 @@ class Transaction:
             return False
         if self.signer.address != self.sender:
             return False
-        return verify(self.signing_body(), self.signature, self.signer)
+        return verify_encoded(self._encoded_body(), self.signature,
+                              self.signer)
 
     def validate(self, require_signature: bool = False) -> None:
         """Structural validation; raises :class:`InvalidTransaction`."""
@@ -115,9 +236,7 @@ class Transaction:
     # ------------------------------------------------------------------
     @property
     def size_bytes(self) -> int:
-        from ..serialization import canonical_encode
-
-        base = len(canonical_encode(self.signing_body()))
+        base = len(self._encoded_body())
         if self.signature is not None:
             base += len(self.signature) + 32
         return base

@@ -55,14 +55,19 @@ class ProofOfWork(ConsensusEngine):
         attempts = 0
         nonce = 0
         meta = {"difficulty_bits": self.difficulty_bits, "algo": self.name}
+        # Build the block (and its Merkle tree) once; each attempt only
+        # bumps the header nonce, which invalidates the cached header
+        # hash — so a mining attempt costs one header hash, not a full
+        # block rebuild.
+        block = chain.build_block(
+            list(transactions),
+            timestamp=timestamp,
+            proposer=self.miner_id,
+            consensus_meta=meta,
+            nonce=nonce,
+        )
         while attempts < self.max_attempts:
-            block = chain.build_block(
-                list(transactions),
-                timestamp=timestamp,
-                proposer=self.miner_id,
-                consensus_meta=meta,
-                nonce=nonce,
-            )
+            block.header.nonce = nonce
             attempts += 1
             if int.from_bytes(block.block_hash, "big") < self.target:
                 metrics = RoundMetrics(

@@ -180,6 +180,13 @@ class ContractRuntime:
         except (TypeError, KeyError, ValueError) as exc:
             state.rollback(snapshot)
             raise ContractReverted(f"{entry} failed: {exc}") from exc
+        except BaseException:
+            # Any other contract failure must still unwind this frame:
+            # the chain's per-block undo journal relies on strict
+            # snapshot nesting, so a leaked frame would poison later
+            # reorg rollbacks.
+            state.rollback(snapshot)
+            raise
         state.commit_snapshot(snapshot)
         gas_used = gas_limit - instance.gas_left
         return output, gas_used, instance.drain_events()

@@ -16,19 +16,54 @@ The construction follows Certificate Transparency's hygiene:
   remembers the root at size n recomputes the prefix root from the
   current tree and compares (a full prefix audit rather than RFC 6962's
   succinct consistency proof, whose tree shape differs from this one).
+
+Performance invariants (the hot-path contract):
+
+* :meth:`MerkleTree.append` / :meth:`MerkleTree.extend` update the tree
+  *incrementally* — O(log n) node hashes per appended leaf, touching only
+  the right edge — and are guaranteed to produce byte-identical levels to
+  a from-scratch :meth:`MerkleTree._build` over the same leaves (the
+  property suite checks every size 0–65, covering odd-promotion edges);
+* :func:`leaf_hash` memoizes digests for hashable values, keyed by
+  ``(type, value)`` so cross-type equalities (``True == 1``,
+  ``TxKind.DATA == "data"``) can never alias a cache entry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Iterable, Sequence
 
 from ..errors import InvalidProof
 from .hashing import DOMAIN_LEAF, DOMAIN_NODE, hash_bytes, hash_canonical
 
 
+@lru_cache(maxsize=1 << 16)
+def _leaf_hash_cached(tp: type, value: Any) -> bytes:
+    if tp is bytes:
+        return hash_bytes(value, DOMAIN_LEAF)
+    return hash_canonical(value, DOMAIN_LEAF)
+
+
+# Only types whose equality implies an identical canonical encoding may
+# share a memo entry.  Floats are excluded (0.0 == -0.0 but they encode
+# differently via repr), as are containers that could nest one.
+_MEMOIZABLE_LEAF_TYPES = (bytes, str, int)
+
+
 def leaf_hash(value: Any) -> bytes:
-    """Hash a leaf value with the leaf domain tag."""
+    """Hash a leaf value with the leaf domain tag (memoized).
+
+    Digest-like values (the common case: 32-byte tx hashes) are served
+    from a type-keyed LRU; every other type computes directly — both
+    because most are unhashable and because cross-value equality (e.g.
+    ``0.0 == -0.0`` with distinct encodings) must never alias a cache
+    entry.
+    """
+    tp = type(value)
+    if tp in _MEMOIZABLE_LEAF_TYPES:
+        return _leaf_hash_cached(tp, value)
     if isinstance(value, bytes):
         return hash_bytes(value, DOMAIN_LEAF)
     return hash_canonical(value, DOMAIN_LEAF)
@@ -123,17 +158,50 @@ class MerkleTree:
         return self._leaves[index]
 
     # ------------------------------------------------------------------
-    # Mutation (rebuild; the tree is small relative to proof work)
+    # Mutation (incremental: O(log n) node hashes per appended leaf)
     # ------------------------------------------------------------------
     def append(self, value: Any) -> int:
-        """Append a leaf, rebuild, and return its index."""
-        self._leaves.append(leaf_hash(value))
-        self._build()
+        """Append a leaf incrementally and return its index.
+
+        Only the right-edge path from the new leaf to the root is
+        rehashed (a CT-style frontier update), so appends cost O(log n)
+        instead of the O(n) full rebuild.  The resulting levels are
+        byte-identical to a from-scratch build over the same leaves.
+        """
+        self._append_leaf(leaf_hash(value))
         return len(self._leaves) - 1
 
     def extend(self, values: Iterable[Any]) -> None:
-        self._leaves.extend(leaf_hash(v) for v in values)
-        self._build()
+        """Append several leaves; O(k log n) total."""
+        for value in values:
+            self._append_leaf(leaf_hash(value))
+
+    def _append_leaf(self, leaf: bytes) -> None:
+        self._leaves.append(leaf)
+        if len(self._leaves) == 1:
+            self._levels = [[leaf]]
+            return
+        self._levels[0].append(leaf)
+        level = 0
+        while len(self._levels[level]) > 1:
+            current = self._levels[level]
+            size = len(current)
+            # Parent of the right edge: a real node when the level is
+            # even-sized, the promoted odd node otherwise.
+            if size % 2 == 0:
+                parent_value = node_hash(current[-2], current[-1])
+            else:
+                parent_value = current[-1]
+            parent_size = (size + 1) // 2
+            if level + 1 == len(self._levels):
+                self._levels.append([parent_value])
+            else:
+                parent = self._levels[level + 1]
+                if len(parent) == parent_size:
+                    parent[-1] = parent_value
+                else:
+                    parent.append(parent_value)
+            level += 1
 
     # ------------------------------------------------------------------
     # Proofs

@@ -101,18 +101,33 @@ class Signature:
 
 def sign(message: Any, private: PrivateKey) -> bytes:
     """Sign ``message`` (any canonical-encodable value)."""
-    digest = hash_bytes(canonical_encode(message), DOMAIN_SIG)
+    return sign_encoded(canonical_encode(message), private)
+
+
+def sign_encoded(encoded: bytes, private: PrivateKey) -> bytes:
+    """Sign already-canonically-encoded bytes.
+
+    Fast path for callers that cache their canonical encoding (sealed
+    transactions): produces exactly the same tag as ``sign`` over the
+    decoded value, without re-encoding.
+    """
+    digest = hash_bytes(encoded, DOMAIN_SIG)
     return hmac.new(private.key_bytes, digest, hashlib.sha256).digest()
 
 
 def verify(message: Any, tag: bytes, public: PublicKey) -> bool:
     """Return ``True`` iff ``tag`` is ``public``'s signature on ``message``."""
+    return verify_encoded(canonical_encode(message), tag, public)
+
+
+def verify_encoded(encoded: bytes, tag: bytes, public: PublicKey) -> bool:
+    """Verify a tag against already-canonically-encoded bytes."""
     sk_bytes = _KEY_REGISTRY.get(public.key_bytes)
     if sk_bytes is None:
         raise CryptoError(
             "unknown public key; keypair was not generated via KeyPair.generate"
         )
-    digest = hash_bytes(canonical_encode(message), DOMAIN_SIG)
+    digest = hash_bytes(encoded, DOMAIN_SIG)
     expected = hmac.new(sk_bytes, digest, hashlib.sha256).digest()
     return hmac.compare_digest(expected, tag)
 

@@ -40,6 +40,10 @@ class InvalidTransaction(ChainError):
     """A transaction is malformed or fails validation."""
 
 
+class SealedMutation(ChainError):
+    """A sealed (frozen) transaction or header was mutated."""
+
+
 class ForkError(ChainError):
     """A fork-choice or reorganization problem."""
 

@@ -54,6 +54,9 @@ class AnchoredProof:
 class _PendingBatch:
     records: list[dict] = field(default_factory=list)
     digests: list[bytes] = field(default_factory=list)
+    # Pending ids mirrored in a set so per-enqueue dedup is O(1) instead
+    # of a scan over the pending batch.
+    ids: set[str] = field(default_factory=set)
 
 
 class AnchorService:
@@ -106,12 +109,11 @@ class AnchorService:
         record_id = str(record.get("record_id", ""))
         if not record_id:
             raise AnchorError("record lacks record_id")
-        if record_id in self._locator or any(
-            r.get("record_id") == record_id for r in self._pending.records
-        ):
+        if record_id in self._locator or record_id in self._pending.ids:
             raise AnchorError(f"record {record_id!r} already anchored/pending")
         self._pending.records.append(record)
         self._pending.digests.append(record_digest(record))
+        self._pending.ids.add(record_id)
         if len(self._pending.records) >= self.batch_size:
             return self.flush()
         return None
@@ -133,12 +135,15 @@ class AnchorService:
         }
         if self.mode == "inline":
             payload["records"] = batch.records
+        # Sealed: the anchor tx is hashed (id), sized (bytes_on_chain),
+        # and Merkle-hashed (block build) — sealing pins one canonical
+        # encoding for all three and freezes the payload.
         tx = Transaction(
             sender=self.sender,
             kind=TxKind.PROVENANCE,
             payload=payload,
             timestamp=self.chain.head.header.timestamp,
-        )
+        ).seal()
         if self.sealer is not None:
             block, _ = self.sealer.seal(self.chain, [tx])
             self.chain.append_block(block)

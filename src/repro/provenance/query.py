@@ -105,6 +105,11 @@ class ProvenanceQueryEngine:
         self.graph = graph
         self.cache = cache
         self.stats = QueryStats()
+        # Proof memo for repeated verified queries: an anchored record's
+        # proof is immutable once its anchor transaction is committed, so
+        # re-proving on every repeat is pure waste.  Verification against
+        # the live chain still runs per query (trust is not cached).
+        self._proof_memo: dict[str, AnchoredProof] = {}
 
     # ------------------------------------------------------------------
     # Unverified queries
@@ -172,8 +177,11 @@ class ProvenanceQueryEngine:
                 unanchored.append(record_id)
                 all_good = False
                 continue
-            proof = self.anchor_service.prove(record_id)
-            self.stats.proofs_produced += 1
+            proof = self._proof_memo.get(record_id)
+            if proof is None:
+                proof = self.anchor_service.prove(record_id)
+                self.stats.proofs_produced += 1
+                self._proof_memo[record_id] = proof
             # The anchor annotation added post-hoc must not break hashes:
             # record_digest excludes it (see records.record_digest).
             ok = self.anchor_service.verify(record, proof)
@@ -216,3 +224,6 @@ class ProvenanceQueryEngine:
         """Invalidate caches after new records are ingested."""
         if self.cache is not None:
             self.cache.invalidate_all()
+        # Conservative: a write may coincide with a reorg that re-anchors
+        # records, so drop memoized proofs too.
+        self._proof_memo.clear()

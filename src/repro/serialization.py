@@ -95,6 +95,15 @@ def _encode_into(value: Any, out: bytearray) -> None:
             _encode_into(item, out)
         out += b"e"
     else:
+        # Sealed objects may carry their canonical bytes, precomputed once
+        # at seal time (identity-keyed encode cache: the bytes live on the
+        # object itself, so cache lifetime equals object lifetime and two
+        # equal-but-distinct objects never alias).  Only immutable (sealed)
+        # objects may set this — see Transaction.seal().
+        cached = getattr(value, "_canonical_cache", None)
+        if type(cached) is bytes:
+            out += cached
+            return
         # Objects may opt in by providing a to_canonical() mapping.
         to_canonical = getattr(value, "to_canonical", None)
         if callable(to_canonical):

@@ -1,0 +1,6 @@
+"""Test package marker.
+
+The test modules import shared helpers with ``from .conftest import …``,
+which requires ``tests`` to be a real package so pytest's rootdir-based
+import mode can resolve the relative import.
+"""

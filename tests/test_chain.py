@@ -199,12 +199,33 @@ class TestReorg:
                          payload={"to": "bob", "amount": 500})
         funded_chain.append_block(funded_chain.build_block([tx]))
         assert funded_chain.state.balance("bob") == 1_500
-        # Reorg to a fork where the transfer never happened...
+        # Reorg to a fork where the transfer never happened: the undo
+        # journal rewinds to the exact fork-point state, so the transfer
+        # is undone while the fixture's pre-chain credits survive.
         suffix = self._fork(funded_chain, at_height=0, new_len=2)
         funded_chain.reorg_to(suffix, fork_height=0)
-        # ...but note _replay starts from a fresh state (credits in the
-        # fixture were pre-chain, so they are gone too).
-        assert funded_chain.state.balance("bob") == 0
+        assert funded_chain.state.balance("bob") == 1_000
+        assert funded_chain.state.balance("alice") == 1_000
+
+    def test_journal_and_replay_reorgs_agree(self):
+        """O(delta) journal rollback and full replay must land on the
+        same chain and the same state root."""
+        def build(depth: int) -> Blockchain:
+            c = Blockchain(ChainParams(chain_id="agree",
+                                       reorg_journal_depth=depth))
+            for i in range(6):
+                c.append_block(c.build_block([data_tx(i), data_tx(100 + i)],
+                                             timestamp=i))
+            return c
+
+        journaled, replayed = build(depth=64), build(depth=0)
+        assert journaled.head.block_hash == replayed.head.block_hash
+        for chain in (journaled, replayed):
+            suffix = self._fork(chain, at_height=3, new_len=4)
+            chain.reorg_to(suffix, fork_height=3)
+        assert journaled.head.block_hash == replayed.head.block_hash
+        assert journaled.state.state_root() == replayed.state.state_root()
+        assert journaled.is_intact() and replayed.is_intact()
 
 
 class TestStateStore:
