@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-hotpath
+.PHONY: test bench-smoke bench-hotpath bench-shard check
 
 # Tier-1 verification: the full test suite.
 test:
@@ -18,3 +18,14 @@ bench-smoke:
 # the acceptance floors (verify >= 5x, reorg >= 10x).
 bench-hotpath:
 	$(PYTHON) benchmarks/bench_perf_hotpath.py
+
+# Full shard-scaling benchmark; writes BENCH_shard_scaling.json and
+# asserts the acceptance floor (>= 2.5x aggregate ingest at 4 shards).
+bench-shard:
+	$(PYTHON) benchmarks/bench_shard_scaling.py
+
+# CI-style verification in one command: tier-1 tests plus a smoke pass
+# of each perf benchmark (same code paths, small sizes, no floors).
+check: test
+	$(PYTHON) benchmarks/bench_perf_hotpath.py --smoke
+	$(PYTHON) benchmarks/bench_shard_scaling.py --smoke

@@ -81,6 +81,13 @@ from .crosschain import (
     RelayChain,
     SwapParty,
 )
+from .sharding import (
+    BeaconChain,
+    CrossShardCoordinator,
+    ShardedChain,
+    ShardedQueryEngine,
+    ShardRouter,
+)
 
 __all__ = [
     "__version__",
@@ -140,4 +147,9 @@ __all__ = [
     "PeggedSidechain",
     "RelayChain",
     "SwapParty",
+    "BeaconChain",
+    "CrossShardCoordinator",
+    "ShardedChain",
+    "ShardedQueryEngine",
+    "ShardRouter",
 ]

@@ -25,6 +25,7 @@ DOMAIN_SIG = b"\x05"
 DOMAIN_COMMIT = b"\x06"
 DOMAIN_KEY = b"\x07"
 DOMAIN_XCHAIN = b"\x08"
+DOMAIN_SHARD = b"\x09"
 
 HASH_SIZE = 32
 ZERO_HASH = b"\x00" * HASH_SIZE

@@ -52,6 +52,10 @@ class TamperDetected(ChainError):
     """Integrity verification found a mutated block or record."""
 
 
+class ShardError(ChainError):
+    """A sharded-chain routing, sealing, or locking problem."""
+
+
 class ConsensusError(ReproError):
     """A consensus engine could not reach or verify agreement."""
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..chain import Block, Blockchain, ChainParams, Mempool, Transaction
+from ..errors import ChainError
 from .gossip import GossipProtocol
 from .message import NetMessage
 from .simnet import SimNet
@@ -34,6 +35,7 @@ class ChainNode:
         self.mempool = Mempool()
         self._topic_handlers: dict[str, TopicHandler] = {}
         self.gossip: GossipProtocol | None = None
+        self._sharded = None  # set by serve_shards()
         net.register(node_id, self.dispatch, region=region)
         self.on_topic("tx", self._handle_tx)
         self.on_topic("block", self._handle_block)
@@ -69,6 +71,19 @@ class ChainNode:
     def _handle_tx(self, msg: NetMessage) -> None:
         self.mempool.add(_tx_from_body(dict(msg.body)))
 
+    def _handle_shard_tx(self, msg: NetMessage) -> None:
+        # A gateway node fronting a sharded chain routes client
+        # transactions into the right shard's mempool.  Routine rejects
+        # (lock conflicts, full mempool) are the sender's problem to
+        # retry, not grounds to abort the network's event loop.
+        if self._sharded is None:
+            return
+        try:
+            self._sharded.submit(_tx_from_body(dict(msg.body)))
+        except (ChainError, TypeError):
+            # TypeError: malformed body carrying no transaction.
+            pass
+
     def _handle_block(self, msg: NetMessage) -> None:
         # Direct block push is used by the simpler consensus engines; the
         # body carries an in-process reference (simulation convenience —
@@ -81,6 +96,19 @@ class ChainNode:
     # ------------------------------------------------------------------
     # Client-side operations
     # ------------------------------------------------------------------
+    def serve_shards(self, sharded_chain) -> None:
+        """Become a shard gateway: route ``"shard_tx"`` messages into a
+        :class:`~repro.sharding.shardchain.ShardedChain`."""
+        self._sharded = sharded_chain
+        self.on_topic("shard_tx", self._handle_shard_tx)
+
+    def send_shard_transaction(self, gateway_id: str, tx: Transaction) -> bool:
+        """Client-side: submit a transaction to a shard gateway node."""
+        return self.net.send(
+            NetMessage(sender=self.node_id, recipient=gateway_id,
+                       topic="shard_tx", body=_tx_to_body(tx))
+        )
+
     def submit_transaction(self, tx: Transaction, gossip: bool = False) -> None:
         """Accept a client transaction locally and optionally gossip it."""
         self.mempool.add(tx)

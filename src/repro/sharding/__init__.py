@@ -1,0 +1,88 @@
+"""Sharded execution: scale-out over independent provenance chains.
+
+Design note
+-----------
+
+One :class:`~repro.chain.blockchain.Blockchain` serializes all traffic;
+the SOK's capture-heavy workloads (HPC provenance in SciChain, IoT
+streams in Sigwart et al.) outgrow that long before they outgrow the
+cryptography.  This package partitions the system by **provenance
+namespace** (tenant / organization prefix of a subject id) while keeping
+a single verifiable root of trust:
+
+* :class:`ShardRouter` — stable SHA-based namespace → shard placement;
+  whole namespaces co-reside so the common queries stay single-shard.
+* :class:`Shard` / :class:`ShardedChain` — each shard is a full vertical
+  stack (chain + mempool + provenance DB + anchor service + query
+  engine) sharing nothing with its siblings; the facade batches ingest
+  (``submit_many``), seals every loaded shard per round
+  (``seal_round``), and reports per-shard timings so the scaling bench
+  can model the real deployment's critical path (slowest shard + beacon
+  commit — shards seal concurrently on separate machines).
+* :class:`BeaconChain` — per round, the new shard block hashes are
+  Merkle-batched and the root lands in ONE beacon transaction (the
+  AnchorService receipt idiom one level up).  Beacon load grows with
+  rounds, not traffic; any shard block verifies against one beacon
+  header.
+* :class:`CrossShardCoordinator` — two-phase lock/commit for handoffs
+  spanning shards, with on-chain lock/commit/abort legs and
+  abort-and-unlock on sealing-round timeout.  Handoff provenance records
+  materialize only on full commit.
+* :class:`ShardedQueryEngine` — scatter-gather federation of the
+  per-shard query engines; verified answers compound the record's
+  anchored Merkle proof with a beacon proof of its anchor block, and
+  :meth:`~ShardedQueryEngine.federated_proof` packages the whole chain
+  of evidence for a verifier holding nothing but beacon headers.
+
+Trust recap: record → batch root → anchor tx → shard header → round
+root → beacon anchor tx → beacon header.  Tampering anywhere under a
+beacon header breaks one of those six hops.
+"""
+
+from .beacon import (
+    BeaconChain,
+    BeaconLightBundle,
+    BeaconReceipt,
+    ShardBlockProof,
+)
+from .query import FederatedProof, ShardedQueryEngine, ShardedVerifiedAnswer
+from .router import NAMESPACE_SEP, ShardRouter, namespace_of
+from .shardchain import (
+    RoundReport,
+    Shard,
+    ShardedChain,
+    ShardSealStats,
+    SubmitReport,
+)
+from .twophase import (
+    ABORTED,
+    COMMITTED,
+    COMMITTING,
+    PREPARING,
+    CrossShardCoordinator,
+    CrossShardTransfer,
+)
+
+__all__ = [
+    "BeaconChain",
+    "BeaconLightBundle",
+    "BeaconReceipt",
+    "ShardBlockProof",
+    "FederatedProof",
+    "ShardedQueryEngine",
+    "ShardedVerifiedAnswer",
+    "NAMESPACE_SEP",
+    "ShardRouter",
+    "namespace_of",
+    "RoundReport",
+    "Shard",
+    "ShardedChain",
+    "ShardSealStats",
+    "SubmitReport",
+    "ABORTED",
+    "COMMITTED",
+    "COMMITTING",
+    "PREPARING",
+    "CrossShardCoordinator",
+    "CrossShardTransfer",
+]

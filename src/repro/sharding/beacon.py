@@ -1,0 +1,232 @@
+"""Beacon chain: one root of trust over N independent shard chains.
+
+Each sealing round, the per-shard block hashes produced in that round are
+batched into a Merkle tree and the root is committed in a single beacon
+transaction (the :class:`~repro.provenance.anchor.AnchorService` receipt
+idiom, applied one level up: shards anchor records, the beacon anchors
+shards).  A verifier holding only the *beacon* headers can then check any
+shard block with a :class:`BeaconLightBundle` — shard block hash → round
+root → beacon anchor transaction → beacon header — without trusting any
+shard full node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..chain import Blockchain, BlockHeader, ChainParams, Transaction, TxKind
+from ..crypto.merkle import MerkleProof, MerkleTree, leaf_hash, verify_proof
+from ..errors import ShardError
+
+
+def shard_block_leaf(shard_id: int, height: int, block_hash: bytes) -> dict:
+    """Canonical leaf content committing one shard block to the beacon."""
+    return {"shard": shard_id, "height": height, "block_hash": block_hash}
+
+
+@dataclass(frozen=True)
+class BeaconReceipt:
+    """Where one round's shard-root commitment landed on the beacon."""
+
+    round_no: int
+    merkle_root: bytes
+    block_height: int           # beacon chain height of the anchor tx
+    tx_id: str
+    leaf_count: int
+
+
+@dataclass(frozen=True)
+class ShardBlockProof:
+    """Full-node proof that a shard block is anchored in the beacon."""
+
+    shard_id: int
+    height: int                 # shard chain height
+    block_hash: bytes
+    merkle_proof: MerkleProof   # leaf → round root
+    round_root: bytes
+    round_no: int
+    beacon_height: int
+    beacon_tx_id: str
+
+    @property
+    def leaf(self) -> dict:
+        return shard_block_leaf(self.shard_id, self.height, self.block_hash)
+
+
+@dataclass(frozen=True)
+class BeaconLightBundle:
+    """Header-only verification of one shard block.
+
+    Mirrors :class:`~repro.chain.lightclient.LightAnchorBundle`, one
+    level up: the "record" is a shard block hash and the "batch" is a
+    sealing round.
+    """
+
+    shard_proof: ShardBlockProof
+    anchor_tx: Transaction      # beacon tx carrying the round root
+    tx_proof: MerkleProof       # anchor tx → beacon header merkle root
+
+    def verify(self, beacon_header: BlockHeader) -> bool:
+        """Three-hop check against a beacon block header.
+
+        1. the shard block leaf is under the round root;
+        2. the beacon anchor transaction commits exactly that root;
+        3. the anchor transaction is in the given beacon header.
+        """
+        proof = self.shard_proof
+        if proof.merkle_proof.root_from(
+            leaf_hash(proof.leaf)
+        ) != proof.round_root:
+            return False
+        if self.anchor_tx.payload.get("merkle_root") != proof.round_root:
+            return False
+        if beacon_header.height != proof.beacon_height:
+            return False
+        return verify_proof(beacon_header.merkle_root,
+                            self.anchor_tx.tx_hash, self.tx_proof)
+
+
+class BeaconChain:
+    """A :class:`Blockchain` whose payload is shard-root commitments."""
+
+    def __init__(self, params: ChainParams | None = None,
+                 sender: str = "beacon-sealer") -> None:
+        self.chain = Blockchain(params or ChainParams(chain_id="beacon"))
+        self.sender = sender
+        self.receipts: list[BeaconReceipt] = []
+        self._trees: list[MerkleTree] = []
+        # (shard_id, shard height) -> (round index, leaf index)
+        self._locator: dict[tuple[int, int], tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return self.chain.height
+
+    @property
+    def rounds_anchored(self) -> int:
+        return len(self.receipts)
+
+    def is_anchored(self, shard_id: int, height: int) -> bool:
+        return (shard_id, height) in self._locator
+
+    def receipt_for(self, shard_id: int, height: int) -> BeaconReceipt | None:
+        loc = self._locator.get((shard_id, height))
+        return self.receipts[loc[0]] if loc else None
+
+    # ------------------------------------------------------------------
+    # Anchoring
+    # ------------------------------------------------------------------
+    def anchor_round(
+        self,
+        entries: Sequence[tuple[int, int, bytes]],
+        timestamp: int = 0,
+    ) -> BeaconReceipt:
+        """Commit one round's shard blocks: ``(shard_id, height, hash)``.
+
+        One beacon transaction per round, regardless of shard count —
+        the beacon's load grows with *rounds*, not with traffic.
+        """
+        if not entries:
+            raise ShardError("cannot anchor an empty round")
+        round_no = len(self.receipts)
+        leaves = [shard_block_leaf(sid, h, bh) for sid, h, bh in entries]
+        in_batch: set[tuple[int, int]] = set()
+        for sid, h, _ in entries:
+            if (sid, h) in self._locator or (sid, h) in in_batch:
+                raise ShardError(
+                    f"shard {sid} block {h} is already beacon-anchored"
+                )
+            in_batch.add((sid, h))
+        tree = MerkleTree(leaves)
+        tx = Transaction(
+            sender=self.sender,
+            kind=TxKind.PROVENANCE,
+            payload={
+                "anchor_id": f"beacon-round-{round_no:06d}",
+                "merkle_root": tree.root,
+                "round": round_no,
+                "leaf_count": len(leaves),
+                "mode": "shard_roots",
+            },
+            timestamp=timestamp,
+        ).seal()
+        self.chain.append_block(
+            self.chain.build_block([tx], timestamp=timestamp,
+                                   proposer=self.sender)
+        )
+        receipt = BeaconReceipt(
+            round_no=round_no,
+            merkle_root=tree.root,
+            block_height=self.chain.height,
+            tx_id=tx.tx_id,
+            leaf_count=len(leaves),
+        )
+        self.receipts.append(receipt)
+        self._trees.append(tree)
+        for index, (sid, h, _) in enumerate(entries):
+            self._locator[(sid, h)] = (round_no, index)
+        return receipt
+
+    # ------------------------------------------------------------------
+    # Proofs
+    # ------------------------------------------------------------------
+    def prove_shard_block(self, shard_id: int, height: int,
+                          block_hash: bytes) -> ShardBlockProof:
+        loc = self._locator.get((shard_id, height))
+        if loc is None:
+            raise ShardError(
+                f"shard {shard_id} block {height} is not beacon-anchored"
+            )
+        round_no, index = loc
+        receipt = self.receipts[round_no]
+        tree = self._trees[round_no]
+        leaf = shard_block_leaf(shard_id, height, block_hash)
+        if tree.leaf(index) != leaf_hash(leaf):
+            raise ShardError(
+                f"shard {shard_id} block {height}: supplied hash does not "
+                "match the anchored commitment"
+            )
+        return ShardBlockProof(
+            shard_id=shard_id,
+            height=height,
+            block_hash=block_hash,
+            merkle_proof=tree.prove(index),
+            round_root=receipt.merkle_root,
+            round_no=round_no,
+            beacon_height=receipt.block_height,
+            beacon_tx_id=receipt.tx_id,
+        )
+
+    def verify_shard_block(self, proof: ShardBlockProof) -> bool:
+        """Full-node verification against the live beacon chain."""
+        if proof.merkle_proof.root_from(
+            leaf_hash(proof.leaf)
+        ) != proof.round_root:
+            return False
+        found = self.chain.find_transaction(proof.beacon_tx_id)
+        if found is None:
+            return False
+        block, tx = found
+        if block.height != proof.beacon_height:
+            return False
+        return tx.payload.get("merkle_root") == proof.round_root
+
+    def light_bundle(self, shard_id: int, height: int,
+                     block_hash: bytes) -> BeaconLightBundle:
+        """Everything a beacon-header-only verifier needs for one shard
+        block (check with :meth:`BeaconLightBundle.verify`)."""
+        proof = self.prove_shard_block(shard_id, height, block_hash)
+        located = self.chain.prove_transaction(proof.beacon_tx_id)
+        if located is None:  # pragma: no cover - receipts imply presence
+            raise ShardError(
+                f"beacon anchor tx {proof.beacon_tx_id[:12]} not on chain"
+            )
+        block, tx_proof = located
+        anchor_tx = block.find_transaction(proof.beacon_tx_id)[1]
+        return BeaconLightBundle(
+            shard_proof=proof, anchor_tx=anchor_tx, tx_proof=tx_proof
+        )

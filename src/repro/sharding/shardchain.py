@@ -1,0 +1,382 @@
+"""``ShardedChain``: N independent chain stacks behind one facade.
+
+Each shard owns a full vertical slice — :class:`Blockchain`,
+:class:`Mempool`, :class:`ProvenanceDatabase`, :class:`AnchorService`,
+:class:`ProvenanceQueryEngine` — so shards share *nothing* and, on a real
+deployment, run on separate machines.  The facade:
+
+* routes submitted transactions and ingested records to their home shard
+  (:class:`~repro.sharding.router.ShardRouter`),
+* seals one block per loaded shard per **round** (:meth:`seal_round`) and
+  anchors every block produced in the round into the
+  :class:`~repro.sharding.beacon.BeaconChain`,
+* maintains the cross-shard lock table the two-phase-commit coordinator
+  uses (a transaction touching a locked subject is deferred, not lost),
+* reports per-shard seal timings so the scaling benchmark can model the
+  deployment's critical path (shards seal concurrently; the round takes
+  as long as its slowest shard plus the beacon commit).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..chain import Blockchain, ChainParams, Mempool, Transaction
+from ..errors import ShardError
+from ..provenance.anchor import AnchorReceipt, AnchorService
+from ..provenance.query import ProvenanceQueryEngine, QueryCache
+from ..storage.provdb import ProvenanceDatabase
+from .beacon import BeaconChain, BeaconReceipt
+from .router import ShardRouter, namespace_of
+
+
+class Shard:
+    """One shard's full stack (chain, mempool, database, anchors, queries)."""
+
+    def __init__(self, shard_id: int, params: ChainParams,
+                 anchor_batch_size: int = 64) -> None:
+        self.shard_id = shard_id
+        self.chain = Blockchain(params)
+        self.mempool = Mempool()
+        self.database = ProvenanceDatabase()
+        self.anchor = AnchorService(
+            self.chain,
+            batch_size=anchor_batch_size,
+            sender=f"shard-{shard_id}-anchor",
+        )
+        self.query = ProvenanceQueryEngine(
+            self.database, anchor_service=self.anchor, cache=QueryCache()
+        )
+
+
+@dataclass(frozen=True)
+class ShardSealStats:
+    """What one shard did in one sealing round.
+
+    ``duration_s`` covers the shard's whole round of work: admission of
+    the transactions routed to it since the previous round (accumulated
+    by :meth:`ShardedChain.submit_many`) plus block build and execution.
+    """
+
+    txs_sealed: int
+    blocks_produced: int
+    duration_s: float
+    mempool_backlog: int
+
+
+@dataclass(frozen=True)
+class RoundReport:
+    """Outcome of one :meth:`ShardedChain.seal_round`."""
+
+    round_no: int
+    per_shard: Mapping[int, ShardSealStats]
+    beacon_receipt: BeaconReceipt | None
+    beacon_duration_s: float
+
+    @property
+    def txs_sealed(self) -> int:
+        return sum(s.txs_sealed for s in self.per_shard.values())
+
+    @property
+    def critical_path_s(self) -> float:
+        """Round wall time under the deployment model: shards seal in
+        parallel (slowest shard dominates), then the beacon commits."""
+        slowest = max(
+            (s.duration_s for s in self.per_shard.values()), default=0.0
+        )
+        return slowest + self.beacon_duration_s
+
+    @property
+    def serial_s(self) -> float:
+        """Single-machine time: every shard sealed back to back."""
+        return (sum(s.duration_s for s in self.per_shard.values())
+                + self.beacon_duration_s)
+
+
+@dataclass
+class SubmitReport:
+    """Batch-submit outcome: accepted counts and lock-deferred leftovers."""
+
+    accepted: dict[int, int] = field(default_factory=dict)
+    deferred: list[Transaction] = field(default_factory=list)
+    duplicates: int = 0
+
+    @property
+    def accepted_total(self) -> int:
+        return sum(self.accepted.values())
+
+
+class ShardedChain:
+    """Facade over N shards, a router, a lock table, and the beacon."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        max_block_txs: int = 256,
+        reorg_journal_depth: int = 64,
+        anchor_batch_size: int = 64,
+        chain_id_prefix: str = "shard",
+        router: ShardRouter | None = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ShardError("need at least one shard")
+        self.router = router or ShardRouter(n_shards)
+        if self.router.n_shards != n_shards:
+            raise ShardError("router shard count does not match")
+        self.shards = [
+            Shard(
+                i,
+                ChainParams(
+                    chain_id=f"{chain_id_prefix}-{i}",
+                    max_block_txs=max_block_txs,
+                    reorg_journal_depth=reorg_journal_depth,
+                ),
+                anchor_batch_size=anchor_batch_size,
+            )
+            for i in range(n_shards)
+        ]
+        self.beacon = BeaconChain(
+            ChainParams(chain_id=f"{chain_id_prefix}-beacon")
+        )
+        # (shard_id, subject) -> owning transfer id.  Guards cross-shard
+        # atomicity: while a subject is mid-handoff, conflicting writes
+        # are deferred instead of interleaving with the 2PC phases.
+        self._locks: dict[tuple[int, str], str] = {}
+        # Highest block height per shard already committed to the beacon.
+        self._anchored_height = [0] * n_shards
+        # Per-shard admission time (hashing + mempool insert) accumulated
+        # by submit_many between rounds; seal_round folds it into each
+        # shard's round duration — on a real deployment every shard node
+        # pays its own admission cost, so the scaling model must too.
+        self._pending_ingest_s = [0.0] * n_shards
+        self.rounds_sealed = 0
+        self._coordinators: list[Any] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard(self, shard_id: int) -> Shard:
+        if not 0 <= shard_id < len(self.shards):
+            raise ShardError(f"no shard {shard_id}")
+        return self.shards[shard_id]
+
+    def shard_for_subject(self, subject: str) -> Shard:
+        return self.shards[self.router.shard_for_subject(subject)]
+
+    @property
+    def total_txs_committed(self) -> int:
+        return sum(len(s.chain.receipts) for s in self.shards)
+
+    @property
+    def mempool_backlog(self) -> int:
+        return sum(len(s.mempool) for s in self.shards)
+
+    def verify_all(self, deep: bool = False) -> None:
+        """Audit every shard chain and the beacon (raises on tampering)."""
+        for shard in self.shards:
+            shard.chain.verify(deep=deep)
+        self.beacon.chain.verify(deep=deep)
+
+    # ------------------------------------------------------------------
+    # Locks (the 2PC coordinator's table; see sharding.twophase)
+    # ------------------------------------------------------------------
+    def acquire_lock(self, shard_id: int, subject: str, xid: str) -> bool:
+        key = (shard_id, subject)
+        owner = self._locks.get(key)
+        if owner is not None and owner != xid:
+            return False
+        self._locks[key] = xid
+        return True
+
+    def release_lock(self, shard_id: int, subject: str, xid: str) -> None:
+        key = (shard_id, subject)
+        if self._locks.get(key) == xid:
+            del self._locks[key]
+
+    def lock_owner(self, shard_id: int, subject: str) -> str | None:
+        return self._locks.get((shard_id, subject))
+
+    def _blocked_by_lock(self, shard_id: int, tx: Transaction) -> bool:
+        subject = self.router.lock_key_for(tx)
+        if subject is None:
+            return False
+        owner = self._locks.get((shard_id, subject))
+        return owner is not None and tx.payload.get("xid") != owner
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def submit(self, tx: Transaction) -> int:
+        """Route one transaction to its shard's mempool; returns the
+        shard id.  Raises :class:`ShardError` on a lock conflict."""
+        shard_id = self.router.route(tx)
+        if self._blocked_by_lock(shard_id, tx):
+            raise ShardError(
+                f"subject {self.router.lock_key_for(tx)!r} is locked by a "
+                "cross-shard transfer; resubmit after it settles"
+            )
+        self.shards[shard_id].mempool.add(tx)
+        return shard_id
+
+    def submit_to(self, shard_id: int, tx: Transaction) -> None:
+        """Protocol-path submit (2PC lock/commit/abort legs): bypasses the
+        router but still honors the lock table's xid exemption."""
+        if self._blocked_by_lock(shard_id, tx):
+            raise ShardError(
+                f"shard {shard_id}: transaction conflicts with an active "
+                "cross-shard lock"
+            )
+        self.shards[shard_id].mempool.add(tx)
+
+    def submit_many(self, txs: Iterable[Transaction]) -> SubmitReport:
+        """Batched ingest.  Lock-conflicted transactions come back in
+        ``deferred`` for the caller to retry once the transfer settles —
+        they are never silently dropped."""
+        report = SubmitReport()
+        for shard_id, bucket in self.router.partition(txs).items():
+            mempool = self.shards[shard_id].mempool
+            accepted = 0
+            t0 = time.perf_counter()
+            for tx in bucket:
+                if self._blocked_by_lock(shard_id, tx):
+                    report.deferred.append(tx)
+                    continue
+                if mempool.add(tx):
+                    accepted += 1
+                else:
+                    report.duplicates += 1
+            self._pending_ingest_s[shard_id] += time.perf_counter() - t0
+            if accepted:
+                report.accepted[shard_id] = accepted
+        return report
+
+    def ingest_record(
+        self, record: Mapping[str, Any]
+    ) -> tuple[int, AnchorReceipt | None]:
+        """Store a provenance record on its home shard and queue it for
+        anchoring; returns ``(shard_id, anchor receipt if one flushed)``."""
+        subject = str(record.get("subject", ""))
+        if not subject:
+            raise ShardError("record lacks a subject to route by")
+        shard_id = self.router.shard_for(namespace_of(subject))
+        owner = self._locks.get((shard_id, subject))
+        if owner is not None and record.get("xid") != owner:
+            raise ShardError(
+                f"subject {subject!r} is locked by a cross-shard "
+                "transfer; ingest after it settles"
+            )
+        shard = self.shards[shard_id]
+        shard.database.insert(record)
+        receipt = shard.anchor.enqueue(record)
+        shard.query.notify_write()
+        return shard_id, receipt
+
+    def flush_anchors(self) -> dict[int, AnchorReceipt]:
+        """Force-flush every shard's pending anchor batch (anchor blocks
+        are beacon-committed by the next :meth:`seal_round`)."""
+        receipts: dict[int, AnchorReceipt] = {}
+        for shard in self.shards:
+            receipt = shard.anchor.flush()
+            if receipt is not None:
+                receipts[shard.shard_id] = receipt
+        return receipts
+
+    # ------------------------------------------------------------------
+    # Sealing
+    # ------------------------------------------------------------------
+    def attach_coordinator(self, coordinator: Any) -> None:
+        """Register an observer whose ``on_round_sealed(report)`` runs
+        after each round (the 2PC coordinator drives its phases there)."""
+        self._coordinators.append(coordinator)
+
+    def seal_round(
+        self,
+        shard_ids: Sequence[int] | None = None,
+        timestamp: int | None = None,
+    ) -> RoundReport:
+        """Seal one block per loaded shard, then beacon-anchor the round.
+
+        ``shard_ids`` restricts sealing to a subset (a stalled shard in
+        the tests; a partitioned one in life).  Blocks appended outside
+        the round (anchor-service flushes) are picked up and anchored
+        too, so every shard block ends up under exactly one beacon
+        header.
+        """
+        selected = (range(len(self.shards)) if shard_ids is None
+                    else shard_ids)
+        ts = self.rounds_sealed if timestamp is None else timestamp
+        per_shard: dict[int, ShardSealStats] = {}
+        entries: list[tuple[int, int, bytes]] = []
+        for shard_id in selected:
+            shard = self.shard(shard_id)
+            t0 = time.perf_counter()
+            batch = shard.mempool.pop_batch(shard.chain.params.max_block_txs)
+            if self._locks:
+                # A transaction admitted *before* a lock was taken must
+                # not seal mid-2PC: hold it back for a later round (the
+                # admission check alone cannot see future locks).
+                kept: list[Transaction] = []
+                held: list[Transaction] = []
+                for tx in batch:
+                    (held if self._blocked_by_lock(shard_id, tx)
+                     else kept).append(tx)
+                if held:
+                    batch = kept
+                    shard.mempool.add_many(held)
+            blocks = 0
+            if batch:
+                shard.chain.append_block(
+                    shard.chain.build_block(
+                        batch, timestamp=ts,
+                        proposer=f"shard-{shard_id}-sealer",
+                    )
+                )
+            # Commit every block the beacon has not seen yet (includes
+            # anchor-service blocks appended between rounds).
+            for height in range(self._anchored_height[shard_id] + 1,
+                                shard.chain.height + 1):
+                entries.append(
+                    (shard_id, height,
+                     shard.chain.block_at(height).block_hash)
+                )
+                blocks += 1
+            self._anchored_height[shard_id] = shard.chain.height
+            per_shard[shard_id] = ShardSealStats(
+                txs_sealed=len(batch),
+                blocks_produced=blocks,
+                duration_s=(time.perf_counter() - t0
+                            + self._pending_ingest_s[shard_id]),
+                mempool_backlog=len(shard.mempool),
+            )
+            self._pending_ingest_s[shard_id] = 0.0
+        t0 = time.perf_counter()
+        beacon_receipt = (self.beacon.anchor_round(entries, timestamp=ts)
+                          if entries else None)
+        beacon_s = time.perf_counter() - t0
+        report = RoundReport(
+            round_no=self.rounds_sealed,
+            per_shard=per_shard,
+            beacon_receipt=beacon_receipt,
+            beacon_duration_s=beacon_s,
+        )
+        self.rounds_sealed += 1
+        for coordinator in self._coordinators:
+            coordinator.on_round_sealed(report)
+        return report
+
+    def seal_until_drained(self, max_rounds: int = 10_000) -> list[RoundReport]:
+        """Seal rounds until every mempool is empty (bench/test helper)."""
+        reports: list[RoundReport] = []
+        while self.mempool_backlog and len(reports) < max_rounds:
+            reports.append(self.seal_round())
+        if self.mempool_backlog:
+            raise ShardError(
+                f"mempools not drained after {max_rounds} rounds"
+            )
+        return reports

@@ -1,0 +1,317 @@
+"""Cross-shard transfers: two-phase lock/commit over shard chains.
+
+A provenance handoff whose source and derived objects live on different
+shards cannot be a single transaction — no block contains both writes.
+The coordinator runs the classic 2PC shape on top of the chains, using
+the :mod:`repro.crosschain.messages` idiom of on-chain protocol legs:
+
+* **prepare** — lock both subjects in the facade's lock table and commit
+  a ``lock`` transaction on each participant shard (the durable record
+  that the handoff began);
+* **commit** — once every lock leg is on-chain, commit a ``commit``
+  transaction per shard carrying the writes, then materialize the
+  handoff provenance records (``handoff-out`` on the source shard,
+  ``handoff-in`` on the target) and release the locks;
+* **abort** — if the prepare phase is not fully on-chain within
+  ``timeout_rounds`` sealing rounds (a stalled or partitioned shard),
+  commit ``abort`` legs where possible and **unlock** — the subjects are
+  writable again and no provenance record of the handoff ever appears.
+
+Atomicity argument: the handoff records are inserted only on full
+commit, and while any phase is in flight both subjects are locked, so no
+interleaved write can observe a half-transferred object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..chain import Transaction, TxKind
+from ..crosschain.messages import TransferOutcome
+from ..errors import ChainError, ShardError
+from .shardchain import RoundReport, ShardedChain
+
+#: Transfer lifecycle states.
+PREPARING = "preparing"
+COMMITTING = "committing"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+@dataclass
+class CrossShardTransfer:
+    """One handoff's 2PC state machine."""
+
+    xid: str
+    source_subject: str
+    target_subject: str
+    source_shard: int
+    target_shard: int
+    payload: dict
+    started_round: int
+    deadline_round: int
+    timestamp: int = 0
+    state: str = PREPARING
+    lock_tx_ids: dict[int, str] = field(default_factory=dict)
+    commit_tx_ids: dict[int, str] = field(default_factory=dict)
+    outcome: TransferOutcome | None = None
+
+    @property
+    def participants(self) -> tuple[int, ...]:
+        """Distinct shards involved (one when both subjects co-reside)."""
+        if self.source_shard == self.target_shard:
+            return (self.source_shard,)
+        return (self.source_shard, self.target_shard)
+
+    @property
+    def is_cross_shard(self) -> bool:
+        return self.source_shard != self.target_shard
+
+    def subjects_on(self, shard_id: int) -> list[str]:
+        subjects = []
+        if shard_id == self.source_shard:
+            subjects.append(self.source_subject)
+        if shard_id == self.target_shard and \
+                self.target_subject not in subjects:
+            subjects.append(self.target_subject)
+        return subjects
+
+
+class CrossShardCoordinator:
+    """Drives cross-shard transfers phase by phase, one sealing round at
+    a time (attach to the facade; :meth:`on_round_sealed` is its tick)."""
+
+    def __init__(
+        self,
+        sharded: ShardedChain,
+        timeout_rounds: int = 3,
+        sender: str = "xshard-coordinator",
+    ) -> None:
+        if timeout_rounds < 1:
+            raise ShardError("timeout must be at least one round")
+        self.sharded = sharded
+        self.timeout_rounds = timeout_rounds
+        self.sender = sender
+        self.transfers: dict[str, CrossShardTransfer] = {}
+        self._seq = 0
+        self.committed = 0
+        self.aborted = 0
+        sharded.attach_coordinator(self)
+
+    # ------------------------------------------------------------------
+    # Phase 1: begin / prepare
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        source_subject: str,
+        target_subject: str,
+        payload: Mapping[str, Any] | None = None,
+        actor: str = "",
+        timestamp: int = 0,
+    ) -> CrossShardTransfer:
+        """Start a handoff; returns the transfer (check ``state`` — a
+        lock conflict aborts immediately rather than deadlocking)."""
+        router = self.sharded.router
+        xid = f"xfer-{self._seq:06d}"
+        self._seq += 1
+        transfer = CrossShardTransfer(
+            xid=xid,
+            source_subject=source_subject,
+            target_subject=target_subject,
+            source_shard=router.shard_for_subject(source_subject),
+            target_shard=router.shard_for_subject(target_subject),
+            payload=dict(payload or {}),
+            started_round=self.sharded.rounds_sealed,
+            deadline_round=self.sharded.rounds_sealed + self.timeout_rounds,
+            timestamp=timestamp,
+        )
+        transfer.payload.setdefault("actor", actor or self.sender)
+        # Lock acquisition order is (shard, subject)-sorted so two
+        # transfers over the same pair cannot deadlock.
+        wanted = sorted(
+            {(transfer.source_shard, source_subject),
+             (transfer.target_shard, target_subject)}
+        )
+        acquired: list[tuple[int, str]] = []
+        for shard_id, subject in wanted:
+            if self.sharded.acquire_lock(shard_id, subject, xid):
+                acquired.append((shard_id, subject))
+            else:
+                for got_shard, got_subject in acquired:
+                    self.sharded.release_lock(got_shard, got_subject, xid)
+                transfer.state = ABORTED
+                transfer.outcome = self._outcome(transfer, "aborted",
+                                                 reason="lock_conflict")
+                self.aborted += 1
+                self.transfers[xid] = transfer
+                return transfer
+        try:
+            for shard_id in transfer.participants:
+                tx = self._leg(transfer, shard_id, phase="lock")
+                self.sharded.submit_to(shard_id, tx)
+                transfer.lock_tx_ids[shard_id] = tx.tx_id
+        except ChainError:
+            # A leg that cannot even be queued (full mempool) must not
+            # leave the subjects locked forever.
+            self._release_locks(transfer)
+            transfer.state = ABORTED
+            transfer.outcome = self._outcome(transfer, "aborted",
+                                             reason="submit_failed")
+            self.aborted += 1
+        self.transfers[xid] = transfer
+        return transfer
+
+    # ------------------------------------------------------------------
+    # Round tick: advance every in-flight transfer
+    # ------------------------------------------------------------------
+    def on_round_sealed(self, report: RoundReport) -> None:
+        round_no = report.round_no
+        for transfer in list(self.transfers.values()):
+            if transfer.state == PREPARING:
+                if self._all_committed(transfer, transfer.lock_tx_ids):
+                    self._start_commit(transfer)
+                elif round_no >= transfer.deadline_round:
+                    self._abort(transfer, reason="prepare_timeout")
+            elif transfer.state == COMMITTING:
+                if self._all_committed(transfer, transfer.commit_tx_ids):
+                    self._finalize(transfer)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, xid: str) -> CrossShardTransfer:
+        transfer = self.transfers.get(xid)
+        if transfer is None:
+            raise ShardError(f"unknown transfer {xid!r}")
+        return transfer
+
+    @property
+    def active(self) -> list[CrossShardTransfer]:
+        return [t for t in self.transfers.values()
+                if t.state in (PREPARING, COMMITTING)]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _leg(self, transfer: CrossShardTransfer, shard_id: int,
+             phase: str) -> Transaction:
+        """One on-chain protocol leg (lock / commit / abort)."""
+        payload: dict[str, Any] = {
+            "message_id": f"{transfer.xid}:{phase}:{shard_id}",
+            "xid": transfer.xid,
+            "phase": phase,
+            "subjects": transfer.subjects_on(shard_id),
+            "source": transfer.source_subject,
+            "target": transfer.target_subject,
+        }
+        if phase == "commit":
+            payload["writes"] = dict(transfer.payload)
+        # Protocol legs carry a fee so the fee-priority mempool seals
+        # them ahead of bulk capture traffic: locks are held for rounds,
+        # not for the whole backlog.
+        return Transaction(
+            sender=self.sender,
+            kind=TxKind.CROSS_CHAIN,
+            payload=payload,
+            timestamp=transfer.timestamp,
+            fee=1,
+        ).seal()
+
+    def _all_committed(self, transfer: CrossShardTransfer,
+                       tx_ids: Mapping[int, str]) -> bool:
+        return all(
+            self.sharded.shard(sid).chain.find_transaction(tx_id) is not None
+            for sid, tx_id in tx_ids.items()
+        )
+
+    def _start_commit(self, transfer: CrossShardTransfer) -> None:
+        try:
+            for shard_id in transfer.participants:
+                tx = self._leg(transfer, shard_id, phase="commit")
+                self.sharded.submit_to(shard_id, tx)
+                transfer.commit_tx_ids[shard_id] = tx.tx_id
+        except ChainError:
+            self._abort(transfer, reason="submit_failed")
+            return
+        transfer.state = COMMITTING
+
+    # Record fields the transfer payload may never override: they carry
+    # the protocol's identity, routing, and ordering.
+    _PROTECTED_FIELDS = frozenset(
+        {"record_id", "subject", "operation", "peer", "actor",
+         "timestamp", "xid"}
+    )
+
+    def _finalize(self, transfer: CrossShardTransfer) -> None:
+        """Both commit legs are on-chain: materialize the handoff records
+        and release the locks."""
+        actor = str(transfer.payload.get("actor", self.sender))
+        extra = {k: v for k, v in transfer.payload.items()
+                 if k not in self._PROTECTED_FIELDS}
+        base = {
+            "actor": actor,
+            "timestamp": transfer.timestamp,
+            "xid": transfer.xid,
+        }
+        self.sharded.ingest_record({
+            **extra,
+            "record_id": f"{transfer.xid}:out",
+            "subject": transfer.source_subject,
+            "operation": "handoff-out",
+            "peer": transfer.target_subject,
+            **base,
+        })
+        self.sharded.ingest_record({
+            **extra,
+            "record_id": f"{transfer.xid}:in",
+            "subject": transfer.target_subject,
+            "operation": "handoff-in",
+            "peer": transfer.source_subject,
+            **base,
+        })
+        self._release_locks(transfer)
+        transfer.state = COMMITTED
+        transfer.outcome = self._outcome(transfer, "completed")
+        self.committed += 1
+
+    def _abort(self, transfer: CrossShardTransfer, reason: str) -> None:
+        """Timeout path: leave an on-chain abort record where we can,
+        then unlock — the subjects accept writes again immediately."""
+        for shard_id in transfer.participants:
+            try:
+                self.sharded.submit_to(
+                    shard_id, self._leg(transfer, shard_id, phase="abort")
+                )
+            except ChainError:
+                # Best-effort audit trail; the unlock below must happen
+                # even when a shard cannot take the abort leg right now.
+                pass
+        self._release_locks(transfer)
+        transfer.state = ABORTED
+        transfer.outcome = self._outcome(transfer, "aborted", reason=reason)
+        self.aborted += 1
+
+    def _release_locks(self, transfer: CrossShardTransfer) -> None:
+        self.sharded.release_lock(
+            transfer.source_shard, transfer.source_subject, transfer.xid
+        )
+        self.sharded.release_lock(
+            transfer.target_shard, transfer.target_subject, transfer.xid
+        )
+
+    def _outcome(self, transfer: CrossShardTransfer, status: str,
+                 reason: str = "") -> TransferOutcome:
+        n = len(transfer.participants)
+        legs = len(transfer.lock_tx_ids) + len(transfer.commit_tx_ids)
+        extra = {"xid": transfer.xid, "cross_shard": transfer.is_cross_shard}
+        if reason:
+            extra["reason"] = reason
+        return TransferOutcome(
+            mechanism="shard-2pc",
+            status=status,
+            messages=2 * n,
+            on_chain_txs=legs,
+            latency_ticks=self.sharded.rounds_sealed - transfer.started_round,
+            extra=extra,
+        )

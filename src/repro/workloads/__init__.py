@@ -10,7 +10,9 @@ from .distributions import ZipfSampler, ArrivalProcess
 from .generators import (
     CloudOpsWorkload,
     ForensicCaseWorkload,
+    MultiTenantShardWorkload,
     QueryWorkload,
+    ShardOp,
     SupplyChainWorkload,
     WorkflowShape,
 )
@@ -20,7 +22,9 @@ __all__ = [
     "ArrivalProcess",
     "CloudOpsWorkload",
     "ForensicCaseWorkload",
+    "MultiTenantShardWorkload",
     "QueryWorkload",
+    "ShardOp",
     "SupplyChainWorkload",
     "WorkflowShape",
 ]

@@ -171,6 +171,94 @@ class SupplyChainWorkload:
         return plans
 
 
+@dataclass(frozen=True)
+class ShardOp:
+    """One multi-tenant ingest action for the sharded-chain benches.
+
+    ``kind`` is ``"record"`` (single-namespace write) or ``"cross"`` (a
+    derivation handed off from ``subject``'s namespace to
+    ``target_subject``'s — the two-phase-commit path when the namespaces
+    land on different shards).
+    """
+
+    kind: str
+    namespace: str
+    subject: str
+    actor: str
+    operation: str
+    timestamp: int
+    size: int = 64
+    target_namespace: str = ""
+    target_subject: str = ""
+
+
+class MultiTenantShardWorkload:
+    """Zipf-skewed multi-tenant capture stream with cross-shard handoffs.
+
+    Tenants (provenance namespaces) are sampled from a Zipf distribution
+    — a few hot organizations dominate, as in any multi-tenant ingest
+    plane — and a configurable fraction of operations derive an object
+    in a *different* tenant's namespace (the cross-shard case).  Subjects
+    are ``"{tenant}/obj-{i}"`` so the shard router's namespace prefix
+    rule applies directly.
+    """
+
+    OPS = (("update", 0.6), ("create", 0.25), ("derive", 0.15))
+
+    def __init__(
+        self,
+        n_tenants: int = 64,
+        objects_per_tenant: int = 32,
+        zipf_s: float = 0.9,
+        cross_shard_ratio: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= cross_shard_ratio <= 1.0:
+            raise ValueError("cross_shard_ratio must be in [0, 1]")
+        if n_tenants < 2 and cross_shard_ratio > 0:
+            raise ValueError("cross-tenant ops need at least two tenants")
+        self.n_tenants = n_tenants
+        self.objects_per_tenant = objects_per_tenant
+        self.cross_shard_ratio = cross_shard_ratio
+        self.rng = random.Random(seed)
+        self.tenant_sampler = ZipfSampler(n_tenants, s=zipf_s, seed=seed + 1)
+
+    def _tenant(self) -> str:
+        return f"tenant-{self.tenant_sampler.sample():03d}"
+
+    def _subject(self, tenant: str) -> str:
+        return f"{tenant}/obj-{self.rng.randrange(self.objects_per_tenant):04d}"
+
+    def generate(self, count: int) -> list[ShardOp]:
+        """A replayable op list; timestamps are strictly increasing."""
+        labels = [name for name, _ in self.OPS]
+        weights = [w for _, w in self.OPS]
+        ops: list[ShardOp] = []
+        for t in range(count):
+            tenant = self._tenant()
+            subject = self._subject(tenant)
+            actor = f"agent-{self.rng.randrange(16):02d}"
+            if self.rng.random() < self.cross_shard_ratio:
+                target = self._tenant()
+                while target == tenant:
+                    target = self._tenant()
+                ops.append(ShardOp(
+                    kind="cross", namespace=tenant, subject=subject,
+                    actor=actor, operation="handoff", timestamp=t,
+                    size=self.rng.randint(32, 256),
+                    target_namespace=target,
+                    target_subject=self._subject(target),
+                ))
+                continue
+            ops.append(ShardOp(
+                kind="record", namespace=tenant, subject=subject,
+                actor=actor, operation=self.rng.choices(labels,
+                                                        weights=weights)[0],
+                timestamp=t, size=self.rng.randint(32, 256),
+            ))
+        return ops
+
+
 @dataclass
 class QueryWorkload:
     """A Zipf-skewed query stream over known subjects (§6.2's repeated

@@ -14,6 +14,9 @@ EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 def test_examples_exist():
     assert len(EXAMPLES) >= 3, "at least three runnable examples required"
     assert any(p.name == "quickstart.py" for p in EXAMPLES)
+    # The sharded cross-org handoff walkthrough ships with the sharding
+    # subsystem and must stay runnable (it is picked up by the glob).
+    assert any(p.name == "sharded_supply_chain.py" for p in EXAMPLES)
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
