@@ -4,11 +4,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench-hotpath bench-shard check
+.PHONY: test test-persist bench-smoke bench-hotpath bench-shard bench-persist check
 
 # Tier-1 verification: the full test suite.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Durable-storage suite only: codec, segment log, crash recovery,
+# backend equivalence, reorg truncation, sharded restarts.
+test-persist:
+	$(PYTHON) -m pytest tests/test_persist.py tests/test_storage.py -q
 
 # Fast CI-friendly run of the hot-path benchmark (small sizes).
 bench-smoke:
@@ -24,8 +29,14 @@ bench-hotpath:
 bench-shard:
 	$(PYTHON) benchmarks/bench_shard_scaling.py
 
+# Full persistence benchmark; writes BENCH_persist.json and asserts the
+# acceptance floor (reopen-from-snapshot >= 5x vs genesis replay).
+bench-persist:
+	$(PYTHON) benchmarks/bench_persist.py
+
 # CI-style verification in one command: tier-1 tests plus a smoke pass
 # of each perf benchmark (same code paths, small sizes, no floors).
 check: test
 	$(PYTHON) benchmarks/bench_perf_hotpath.py --smoke
 	$(PYTHON) benchmarks/bench_shard_scaling.py --smoke
+	$(PYTHON) benchmarks/bench_persist.py --smoke

@@ -59,6 +59,14 @@ from .provenance import (
     ThirdPartyCapture,
     make_record,
 )
+from .persist import (
+    BlockStore,
+    DurableStorage,
+    MemoryBlockStore,
+    RecordStore,
+    SegmentLog,
+    StateSnapshotStore,
+)
 from .storage import CloudObjectStore, ContentAddressedStore, ProvenanceDatabase
 from .systems import (
     BlockCloud,
@@ -152,4 +160,10 @@ __all__ = [
     "ShardedChain",
     "ShardedQueryEngine",
     "ShardRouter",
+    "BlockStore",
+    "RecordStore",
+    "StateSnapshotStore",
+    "MemoryBlockStore",
+    "DurableStorage",
+    "SegmentLog",
 ]

@@ -17,6 +17,17 @@ block built at construction (builder and appender are the same process),
 while :meth:`verify` / :meth:`first_broken_height` always rebuild the tree
 from the transaction hashes — and with ``deep=True`` recompute even those
 from raw payload bytes, defeating any stale cache.
+
+Storage split (ISSUE 3): the chain no longer owns a block list.  All
+block, transaction-index, and receipt access goes through a pluggable
+:class:`~repro.persist.stores.BlockStore` — in-memory by default (the
+seed's exact data structures), or the sqlite-indexed segment-log backend
+from :mod:`repro.persist.durable`.  With a durable store plus a
+:class:`~repro.persist.stores.StateSnapshotStore`, a chain reopened on an
+existing directory resumes from its checkpointed state and re-executes
+only the blocks above the snapshot (``blocks_replayed_on_open``), instead
+of replaying from genesis.  Reorg truncation is store-aware: replaced
+blocks are physically removed from the log and index.
 """
 
 from __future__ import annotations
@@ -26,7 +37,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
 
 from ..crypto.merkle import MerkleProof, verify_proof
-from ..errors import ForkError, InvalidBlock, TamperDetected
+from ..errors import ForkError, InvalidBlock, StorageError, TamperDetected
+from ..persist.stores import (
+    BlockSequenceView,
+    BlockStore,
+    MemoryBlockStore,
+    StateSnapshotStore,
+)
 from .block import Block, GENESIS_PREV_HASH
 from .receipts import Event, TransactionReceipt
 from .state import StateStore
@@ -113,27 +130,80 @@ class Blockchain:
         self,
         params: ChainParams | None = None,
         executor: Executor | None = None,
+        store: BlockStore | None = None,
+        snapshot_store: StateSnapshotStore | None = None,
+        snapshot_interval: int = 0,
+        contract_runtime=None,
     ) -> None:
         self.params = params or ChainParams()
         self.executor: Executor = executor or default_executor
         self.state = StateStore()
-        self.blocks: list[Block] = []
-        self.receipts: dict[str, TransactionReceipt] = {}
-        self._tx_index: dict[str, tuple[int, int]] = {}  # tx_id -> (height, pos)
+        self._store: BlockStore = store if store is not None \
+            else MemoryBlockStore()
+        self._snapshot_store = snapshot_store
+        self._snapshot_interval = snapshot_interval
+        self._blocks_view = BlockSequenceView(self._store)
         # Snapshot handles for the journaled tail of the chain; entry i
         # (from the right) undoes block `height - i`.
         self._block_snaps: deque[int] = deque()
-        self.contract_runtime = None  # set by ContractRuntime.attach()
+        # Normally set post-construction by ContractRuntime.attach(); a
+        # durable chain that replays contract blocks on reopen must get
+        # the runtime *here*, before the restore replay runs.
+        self.contract_runtime = contract_runtime
         self._subscribers: list[Callable[[Block, list[TransactionReceipt]], None]] = []
-        genesis = Block(
-            height=0,
-            prev_hash=GENESIS_PREV_HASH,
-            transactions=[],
-            timestamp=self.params.genesis_timestamp,
-            proposer="genesis",
-            consensus_meta={"chain_id": self.params.chain_id},
-        )
-        self.blocks.append(genesis)
+        # Blocks re-executed while adopting a non-empty store (0 after a
+        # clean close+checkpoint: the snapshot already covers the head).
+        self.blocks_replayed_on_open = 0
+        if len(self._store) == 0:
+            genesis = Block(
+                height=0,
+                prev_hash=GENESIS_PREV_HASH,
+                transactions=[],
+                timestamp=self.params.genesis_timestamp,
+                proposer="genesis",
+                consensus_meta={"chain_id": self.params.chain_id},
+            )
+            self._store.append_block(genesis, [])
+        else:
+            self._restore_from_store()
+
+    def _restore_from_store(self) -> None:
+        """Adopt an existing (reopened) store: restore the checkpointed
+        state image and re-execute only the blocks above it."""
+        replay_from = 1
+        if self._snapshot_store is not None:
+            snap_height = self._snapshot_store.snapshot_height()
+            if snap_height is not None:
+                snap_hash = self._snapshot_store.snapshot_block_hash()
+                usable = (
+                    snap_height <= self._store.height()
+                    and (snap_hash == b"" or snap_hash ==
+                         self._store.block_at(snap_height).block_hash)
+                )
+                if usable:
+                    self.state.load_entries(self._snapshot_store.load()[1])
+                    replay_from = snap_height + 1
+                else:
+                    # Recovery truncated the chain below the checkpoint,
+                    # or the image was taken on a branch that has since
+                    # been reorged away — fall back to full replay.
+                    self._snapshot_store.clear()
+        for block in self._store.iter_blocks(replay_from):
+            if self.contract_runtime is None and any(
+                tx.kind in (TxKind.CONTRACT_DEPLOY, TxKind.CONTRACT_CALL)
+                for tx in block.transactions
+            ):
+                # Without the runtime the executor would turn every
+                # contract tx into a failed receipt and the replayed
+                # state would silently diverge from the pre-crash chain.
+                raise StorageError(
+                    f"stored block {block.height} holds contract "
+                    "transactions; reopen the chain with "
+                    "contract_runtime= so the restore replay can "
+                    "re-execute them"
+                )
+            self._execute_restored(block)
+            self.blocks_replayed_on_open += 1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -143,35 +213,60 @@ class Blockchain:
         return self.params.chain_id
 
     @property
+    def store(self) -> BlockStore:
+        return self._store
+
+    @property
+    def blocks(self) -> BlockSequenceView:
+        """Read-only sequence view over the block store (the former
+        in-memory list; all access now routes through store calls)."""
+        return self._blocks_view
+
+    @blocks.setter
+    def blocks(self, new_blocks) -> None:
+        # Tamper/bench hook: wholesale replacement is only meaningful on
+        # the in-memory backend (probe chains built from copied blocks).
+        if not isinstance(self._store, MemoryBlockStore):
+            raise StorageError(
+                "cannot wholesale-assign blocks on a durable store"
+            )
+        self._store.reset(list(new_blocks))
+
+    @property
+    def receipts(self) -> Mapping[str, TransactionReceipt]:
+        """Mapping view tx_id → receipt, served by the store."""
+        return self._store.receipts_map()
+
+    @property
     def head(self) -> Block:
-        return self.blocks[-1]
+        return self._store.head_block()
 
     @property
     def height(self) -> int:
-        return self.head.height
+        return self._store.height()
 
     def __len__(self) -> int:
-        return len(self.blocks)
+        return len(self._store)
 
     def __iter__(self) -> Iterator[Block]:
-        return iter(self.blocks)
+        return self._store.iter_blocks()
 
     def block_at(self, height: int) -> Block:
-        if not 0 <= height < len(self.blocks):
+        if not 0 <= height <= self._store.height():
             raise InvalidBlock(f"no block at height {height}")
-        return self.blocks[height]
+        return self._store.block_at(height)
 
     def find_transaction(self, tx_id: str) -> tuple[Block, Transaction] | None:
         """Locate a committed transaction by id via the index."""
-        loc = self._tx_index.get(tx_id)
+        loc = self._store.tx_location(tx_id)
         if loc is None:
             return None
         height, pos = loc
-        block = self.blocks[height]
+        block = self._store.block_at(height)
         return block, block.transactions[pos]
 
     def receipt_for(self, tx_id: str) -> TransactionReceipt | None:
-        return self.receipts.get(tx_id)
+        return self._store.receipt_for(tx_id)
 
     def subscribe(
         self, callback: Callable[[Block, list[TransactionReceipt]], None]
@@ -219,6 +314,20 @@ class Blockchain:
         receipts = self._commit_block(block)
         for callback in self._subscribers:
             callback(block, receipts)
+        # Interval checkpoints run only after the block is fully
+        # committed and announced — a checkpoint failure (disk full) must
+        # not masquerade as a failed append of a block that landed.
+        if (self._snapshot_interval > 0
+                and block.height % self._snapshot_interval == 0):
+            self.checkpoint()
+        return receipts
+
+    def _run_executor(self, block: Block) -> list[TransactionReceipt]:
+        receipts = []
+        for tx in block.transactions:
+            receipt = self.executor(tx, self.state, self)
+            receipt.block_height = block.height
+            receipts.append(receipt)
         return receipts
 
     def _commit_block(self, block: Block) -> list[TransactionReceipt]:
@@ -227,25 +336,33 @@ class Blockchain:
         depth = self.params.reorg_journal_depth
         if depth > 0:
             self._block_snaps.append(self.state.snapshot())
-        receipts = []
         try:
-            for pos, tx in enumerate(block.transactions):
-                receipt = self.executor(tx, self.state, self)
-                receipt.block_height = block.height
-                receipts.append(receipt)
-                self.receipts[tx.tx_id] = receipt
-                self._tx_index[tx.tx_id] = (block.height, pos)
+            receipts = self._run_executor(block)
+            self._store.append_block(block, receipts)
         except BaseException:
-            # A raising (custom) executor must not leave a half-applied
-            # block behind: unwind state and bookkeeping so the journal
-            # stays aligned with the committed blocks.
+            # A raising (custom) executor — or a store that failed the
+            # append — must not leave a half-applied block behind: unwind
+            # state so the journal stays aligned with committed blocks.
             if depth > 0:
                 self.state.rollback(self._block_snaps.pop())
-            for tx in block.transactions:
-                self.receipts.pop(tx.tx_id, None)
-                self._tx_index.pop(tx.tx_id, None)
             raise
-        self.blocks.append(block)
+        if depth > 0 and len(self._block_snaps) > depth:
+            self.state.prune_oldest_snapshot()
+            self._block_snaps.popleft()
+        return receipts
+
+    def _execute_restored(self, block: Block) -> list[TransactionReceipt]:
+        """Re-execute a block the store already holds (reopen replay and
+        the deep-fork fallback); journaled exactly like a fresh commit."""
+        depth = self.params.reorg_journal_depth
+        if depth > 0:
+            self._block_snaps.append(self.state.snapshot())
+        try:
+            receipts = self._run_executor(block)
+        except BaseException:
+            if depth > 0:
+                self.state.rollback(self._block_snaps.pop())
+            raise
         if depth > 0 and len(self._block_snaps) > depth:
             self.state.prune_oldest_snapshot()
             self._block_snaps.popleft()
@@ -263,6 +380,23 @@ class Blockchain:
             )
 
     # ------------------------------------------------------------------
+    # Durability (checkpoints; no-ops on the in-memory backend)
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Persist the current state image at the head height and fsync
+        the store, so a reopen resumes here instead of replaying."""
+        if self._snapshot_store is not None:
+            self._snapshot_store.save(self.height,
+                                      self.state.dump_entries(),
+                                      block_hash=self.head.block_hash)
+        self._store.sync()
+
+    def close(self) -> None:
+        """Checkpoint and release the store (reopenable afterwards)."""
+        self.checkpoint()
+        self._store.close()
+
+    # ------------------------------------------------------------------
     # Whole-chain verification (tamper detection)
     # ------------------------------------------------------------------
     def verify(self, deep: bool = False) -> None:
@@ -276,7 +410,7 @@ class Blockchain:
         in-place mutation of an unsealed payload mapping.
         """
         prev_hash = GENESIS_PREV_HASH
-        for block in self.blocks:
+        for block in self._store.iter_blocks():
             if block.header.prev_hash != prev_hash:
                 raise TamperDetected(
                     f"chain broken at height {block.height}: prev-hash "
@@ -300,7 +434,7 @@ class Blockchain:
     def first_broken_height(self, deep: bool = False) -> int | None:
         """Height of the first integrity violation, or ``None`` if intact."""
         prev_hash = GENESIS_PREV_HASH
-        for block in self.blocks:
+        for block in self._store.iter_blocks():
             if block.header.prev_hash != prev_hash:
                 return block.height
             if block.recompute_merkle_root(deep=deep) != \
@@ -315,11 +449,11 @@ class Blockchain:
     # ------------------------------------------------------------------
     def prove_transaction(self, tx_id: str) -> tuple[Block, MerkleProof] | None:
         """Inclusion proof usable by a holder of just the block header."""
-        loc = self._tx_index.get(tx_id)
+        loc = self._store.tx_location(tx_id)
         if loc is None:
             return None
         height, pos = loc
-        block = self.blocks[height]
+        block = self._store.block_at(height)
         return block, block.prove_inclusion(pos)
 
     @staticmethod
@@ -340,7 +474,10 @@ class Blockchain:
         was validated when it was committed.  State is rewound with the
         per-block undo journal when the fork is within the journal window
         (O(delta) in the number of replaced + new blocks), and only falls
-        back to a full replay from genesis for deeper forks.
+        back to a full replay from genesis for deeper forks.  Replaced
+        blocks are truncated out of the store — on the durable backend
+        that physically cuts the segment log and index, so the on-disk
+        chain always matches the in-memory head.
 
         Caveat: the journal path rewinds to the exact fork-point state,
         while the replay fallback rebuilds from a fresh
@@ -355,7 +492,7 @@ class Blockchain:
         if fork_height + len(new_suffix) <= self.height:
             raise ForkError("refusing reorg: new chain is not longer")
         # Validate the new suffix against the kept prefix only.
-        prev = self.blocks[fork_height]
+        prev = self._store.block_at(fork_height)
         for i, block in enumerate(new_suffix):
             if block.header.prev_hash != prev.block_hash:
                 raise ForkError(f"candidate chain broken at index {i}")
@@ -370,33 +507,49 @@ class Blockchain:
         if delta <= len(self._block_snaps):
             for _ in range(delta):
                 self._rollback_head_block()
+            # Discard a checkpoint of the orphaned branch *before*
+            # committing the suffix — a checkpoint the suffix commits may
+            # take (snapshot_interval) describes the winning branch and
+            # must survive.
+            self._discard_snapshot_above(fork_height)
             for block in new_suffix:
                 self._commit_block(block)
         else:
-            self._replay(self.blocks[: fork_height + 1] + list(new_suffix))
+            self._replay_reorg(fork_height, new_suffix)
+        if self._snapshot_interval > 0:
+            # Re-checkpoint promptly on the winning branch so the on-disk
+            # image never lags a whole interval behind a reorg.
+            self.checkpoint()
 
     def _rollback_head_block(self) -> None:
         """Undo the head block: state, receipts, and index (O(block))."""
-        block = self.blocks.pop()
+        height = self._store.height()
         self.state.rollback(self._block_snaps.pop())
-        for tx in block.transactions:
-            self.receipts.pop(tx.tx_id, None)
-            self._tx_index.pop(tx.tx_id, None)
+        self._store.truncate_above(height - 1)
 
-    def _replay(self, blocks: list[Block]) -> None:
+    def _replay_reorg(self, fork_height: int, new_suffix: list[Block]) -> None:
         """Rebuild chain state from scratch (deep-fork fallback)."""
         self.state = StateStore()
-        self.receipts.clear()
-        self._tx_index.clear()
         self._block_snaps.clear()
-        self.blocks = [blocks[0]]
-        for block in blocks[1:]:
+        self._store.truncate_above(fork_height)
+        self._discard_snapshot_above(fork_height)
+        for height in range(1, fork_height + 1):
             # Re-execute without re-validating signatures (already done).
+            self._execute_restored(self._store.block_at(height))
+        for block in new_suffix:
             self._commit_block(block)
+
+    def _discard_snapshot_above(self, fork_height: int) -> None:
+        """A checkpoint above the fork point describes the *orphaned*
+        branch's state; it must never be restored from."""
+        if self._snapshot_store is not None:
+            snap_height = self._snapshot_store.snapshot_height()
+            if snap_height is not None and snap_height > fork_height:
+                self._snapshot_store.clear()
 
     # ------------------------------------------------------------------
     # Size accounting
     # ------------------------------------------------------------------
     @property
     def total_size_bytes(self) -> int:
-        return sum(block.size_bytes for block in self.blocks)
+        return sum(block.size_bytes for block in self._store.iter_blocks())

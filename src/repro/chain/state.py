@@ -126,6 +126,31 @@ class StateStore:
         self._dirty.add(full_key)
 
     # ------------------------------------------------------------------
+    # Bulk export / import (state snapshots for durable storage)
+    # ------------------------------------------------------------------
+    def dump_entries(self) -> list[tuple[str, str, Any]]:
+        """Every entry as ``(namespace, key, value)``, sorted — the
+        materialized image a :class:`~repro.persist.stores.StateSnapshotStore`
+        checkpoints.  Values are shared, not copied; treat as read-only."""
+        return [(ns, key, value)
+                for (ns, key), value in sorted(self._data.items())]
+
+    def load_entries(self, entries) -> None:
+        """Reset the store to exactly ``entries`` (restores a snapshot).
+
+        Drops any open snapshot journal — a restored store starts a fresh
+        undo history, the same as a process restart.
+        """
+        self._data.clear()
+        self._ns.clear()
+        self._journal.clear()
+        self._root_acc = 0
+        self._entry_digests.clear()
+        self._dirty.clear()
+        for namespace, key, value in entries:
+            self._write((namespace, key), value)
+
+    # ------------------------------------------------------------------
     # Balances
     # ------------------------------------------------------------------
     def balance(self, account: str) -> int:

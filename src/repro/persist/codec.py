@@ -1,0 +1,258 @@
+"""Byte codec for durable storage.
+
+The repo already has one canonical, deterministic byte encoding — the
+type-tagged, length-prefixed format in :mod:`repro.serialization` that
+every hash and signature is computed over.  Durable storage reuses it as
+the *wire format* of the segment logs: the encoding is self-describing
+(every value carries its tag and length), so this module adds the exact
+inverse, :func:`canonical_decode`, plus mapping converters for the three
+object kinds the stores persist — blocks (with their transactions),
+execution receipts, and provenance records.
+
+Using the hash encoding as the storage encoding is what makes the
+round-trip guarantees cheap to state: a decoded transaction re-encodes to
+the *same bytes* it was hashed over, so a block read back from disk
+recomputes the same Merkle root and block hash it had when sealed, and
+any on-disk corruption surfaces as a hash mismatch rather than silently
+different data.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..chain.block import Block
+from ..chain.receipts import Event, TransactionReceipt
+from ..chain.transaction import Transaction, TxKind
+from ..crypto.signatures import PublicKey
+from ..errors import SerializationError, StorageError
+from ..serialization import canonical_encode
+
+__all__ = [
+    "canonical_decode",
+    "encode_block",
+    "decode_block",
+    "encode_record",
+    "decode_record",
+    "receipt_to_mapping",
+    "receipt_from_mapping",
+]
+
+
+# ---------------------------------------------------------------------------
+# canonical_decode — inverse of repro.serialization.canonical_encode
+# ---------------------------------------------------------------------------
+def canonical_decode(data: bytes) -> Any:
+    """Decode canonical bytes back into the value that produced them.
+
+    Exact inverse of :func:`repro.serialization.canonical_encode` for
+    every value that function accepts (sequences come back as lists,
+    mappings as dicts).  Raises :class:`SerializationError` on trailing
+    bytes, truncation, or an unknown tag — corruption never decodes.
+    """
+    value, end = _decode_from(data, 0)
+    if end != len(data):
+        raise SerializationError(
+            f"trailing bytes after canonical value ({len(data) - end})"
+        )
+    return value
+
+
+def _read_length(data: bytes, pos: int) -> tuple[int, int]:
+    """Parse the ``<digits>:`` length prefix starting at ``pos``."""
+    colon = data.find(b":", pos)
+    if colon < 0:
+        raise SerializationError("truncated length prefix")
+    digits = data[pos:colon]
+    if not digits.isdigit():
+        raise SerializationError(f"bad length prefix {digits!r}")
+    return int(digits), colon + 1
+
+
+def _decode_from(data: bytes, pos: int) -> tuple[Any, int]:
+    if pos >= len(data):
+        raise SerializationError("truncated canonical value")
+    tag = data[pos:pos + 1]
+    pos += 1
+    if tag == b"N":
+        return None, pos
+    if tag == b"T":
+        return True, pos
+    if tag == b"F":
+        return False, pos
+    if tag in (b"i", b"f", b"s", b"b"):
+        length, pos = _read_length(data, pos)
+        body = data[pos:pos + length]
+        if len(body) != length:
+            raise SerializationError("truncated scalar body")
+        pos += length
+        if tag == b"i":
+            return int(body), pos
+        if tag == b"f":
+            return float(body), pos
+        if tag == b"s":
+            return body.decode("utf-8"), pos
+        return bytes(body), pos
+    if tag == b"d":
+        count, pos = _read_length(data, pos)
+        out: dict[str, Any] = {}
+        for _ in range(count):
+            key, pos = _decode_from(data, pos)
+            if not isinstance(key, str):
+                raise SerializationError("mapping key must decode to str")
+            out[key], pos = _decode_from(data, pos)
+        if data[pos:pos + 1] != b"e":
+            raise SerializationError("unterminated mapping")
+        return out, pos + 1
+    if tag == b"l":
+        count, pos = _read_length(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_from(data, pos)
+            items.append(item)
+        if data[pos:pos + 1] != b"e":
+            raise SerializationError("unterminated sequence")
+        return items, pos + 1
+    raise SerializationError(f"unknown canonical tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+def _transaction_to_mapping(tx: Transaction) -> dict:
+    m = tx.signing_body()
+    if tx.signature is not None and tx.signer is not None:
+        m["_sig"] = tx.signature
+        m["_signer"] = tx.signer.key_bytes
+    if tx.is_sealed:
+        m["_sealed"] = True
+    return m
+
+
+def _transaction_from_mapping(m: dict) -> Transaction:
+    tx = Transaction(
+        sender=m["sender"],
+        kind=TxKind(m["kind"]),
+        payload=m["payload"],
+        nonce=m["nonce"],
+        timestamp=m["timestamp"],
+        fee=m["fee"],
+    )
+    if "_sig" in m:
+        tx.signature = m["_sig"]
+        tx.signer = PublicKey(m["_signer"])
+    if m.get("_sealed"):
+        tx.seal()
+    return tx
+
+
+# ---------------------------------------------------------------------------
+# Blocks
+# ---------------------------------------------------------------------------
+def encode_block(block: Block) -> bytes:
+    """Canonical bytes for one block (header fields + transactions)."""
+    header = block.header
+    return canonical_encode({
+        "height": header.height,
+        "prev_hash": header.prev_hash,
+        "merkle_root": header.merkle_root,
+        "timestamp": header.timestamp,
+        "proposer": header.proposer,
+        "consensus_meta": dict(header.consensus_meta),
+        "nonce": header.nonce,
+        "transactions": [_transaction_to_mapping(tx)
+                         for tx in block.transactions],
+    })
+
+
+def decode_block(payload: bytes, expected_hash: bytes | None = None) -> Block:
+    """Rebuild a block from :func:`encode_block` bytes.
+
+    The block is reconstructed through the normal constructor, so its
+    Merkle tree is rebuilt from the decoded transactions; a mismatch with
+    the stored ``merkle_root`` (or with ``expected_hash``, when the index
+    recorded one) means the bytes were corrupted and raises
+    :class:`StorageError` rather than returning a silently different
+    block.
+    """
+    m = canonical_decode(payload)
+    block = Block(
+        height=m["height"],
+        prev_hash=m["prev_hash"],
+        transactions=[_transaction_from_mapping(t)
+                      for t in m["transactions"]],
+        timestamp=m["timestamp"],
+        proposer=m["proposer"],
+        consensus_meta=m["consensus_meta"],
+        nonce=m["nonce"],
+    )
+    if block.header.merkle_root != m["merkle_root"]:
+        raise StorageError(
+            f"stored block {m['height']} fails Merkle-root check "
+            "(on-disk corruption)"
+        )
+    if expected_hash is not None and block.block_hash != expected_hash:
+        raise StorageError(
+            f"stored block {m['height']} does not hash to its indexed "
+            "block hash (on-disk corruption)"
+        )
+    return block
+
+
+# ---------------------------------------------------------------------------
+# Receipts
+# ---------------------------------------------------------------------------
+def receipt_to_mapping(receipt: TransactionReceipt) -> dict:
+    m: dict[str, Any] = {
+        "tx_id": receipt.tx_id,
+        "success": receipt.success,
+        "gas_used": receipt.gas_used,
+        "events": [e.to_canonical() for e in receipt.events],
+    }
+    if receipt.error is not None:
+        m["error"] = receipt.error
+    if receipt.block_height is not None:
+        m["block_height"] = receipt.block_height
+    if receipt.output is not None:
+        try:
+            canonical_encode(receipt.output)
+        except SerializationError:
+            pass  # non-encodable outputs (live objects) are not persisted
+        else:
+            m["output"] = receipt.output
+    return m
+
+
+def receipt_from_mapping(m: dict) -> TransactionReceipt:
+    return TransactionReceipt(
+        tx_id=m["tx_id"],
+        success=m["success"],
+        gas_used=m["gas_used"],
+        output=m.get("output"),
+        error=m.get("error"),
+        events=[Event(name=e["name"], source=e["source"], data=e["data"])
+                for e in m["events"]],
+        block_height=m.get("block_height"),
+    )
+
+
+def encode_receipt(receipt: TransactionReceipt) -> bytes:
+    return canonical_encode(receipt_to_mapping(receipt))
+
+
+def decode_receipt(payload: bytes) -> TransactionReceipt:
+    return receipt_from_mapping(canonical_decode(payload))
+
+
+# ---------------------------------------------------------------------------
+# Provenance records (plain canonical dicts)
+# ---------------------------------------------------------------------------
+def encode_record(record: dict) -> bytes:
+    return canonical_encode(record)
+
+
+def decode_record(payload: bytes) -> dict:
+    record = canonical_decode(payload)
+    if not isinstance(record, dict):
+        raise StorageError("stored record did not decode to a mapping")
+    return record

@@ -1,0 +1,526 @@
+"""Durable backend: append-only segment logs indexed by sqlite.
+
+One :class:`DurableStorage` per store directory owns
+
+* ``blocks-log/`` — a :class:`~repro.persist.segment.SegmentLog` of
+  canonical block encodings,
+* ``records-log/`` — a segment log of canonical provenance records,
+* ``index.db`` — a stdlib :mod:`sqlite3` database holding every index
+  the ISSUE's query paths need: height → log offset, tx_id → (height,
+  position), receipts, record_id → log location, the state snapshot
+  (``namespace`` → keys → canonical value), and a small meta table.
+
+Commit discipline (the crash-recovery contract): an entry **counts iff
+its sqlite index row is committed and its log frame is CRC-valid**.
+Appends write the log frame first (flushed), then commit the index row;
+truncations delete index rows first, then cut the log.  A crash between
+the two steps therefore always leaves the log *ahead* of the index, and
+:meth:`DurableStorage._recover` reconciles on open by walking the index
+tail backwards until it finds a valid frame, dropping orphaned rows, and
+truncating the log to the last indexed frame.  The fault-injection hook
+on the segment log makes every intermediate byte state reachable in
+tests.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from collections import OrderedDict
+from collections.abc import Mapping as MappingABC
+from typing import Any, Iterator, Sequence
+
+from ..chain.block import Block
+from ..chain.receipts import TransactionReceipt
+from ..errors import InvalidBlock, StorageError, UnknownEntity
+from ..serialization import canonical_encode
+from .codec import (
+    canonical_decode,
+    decode_block,
+    decode_receipt,
+    decode_record,
+    encode_block,
+    encode_receipt,
+    encode_record,
+)
+from .segment import FRAME_OVERHEAD, SegmentLog
+from .stores import BlockStore, MetaStore, RecordStore, StateSnapshotStore
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS blocks(
+    height INTEGER PRIMARY KEY,
+    segment INTEGER NOT NULL,
+    offset INTEGER NOT NULL,
+    length INTEGER NOT NULL,
+    block_hash BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS txs(
+    tx_id TEXT PRIMARY KEY,
+    height INTEGER NOT NULL,
+    pos INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS txs_by_height ON txs(height);
+CREATE TABLE IF NOT EXISTS receipts(
+    tx_id TEXT PRIMARY KEY,
+    height INTEGER NOT NULL,
+    body BLOB NOT NULL
+);
+CREATE INDEX IF NOT EXISTS receipts_by_height ON receipts(height);
+CREATE TABLE IF NOT EXISTS records(
+    position INTEGER PRIMARY KEY,
+    record_id TEXT UNIQUE,
+    segment INTEGER NOT NULL,
+    offset INTEGER NOT NULL,
+    length INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS state_entries(
+    namespace TEXT NOT NULL,
+    key TEXT NOT NULL,
+    value BLOB NOT NULL,
+    PRIMARY KEY(namespace, key)
+);
+CREATE TABLE IF NOT EXISTS meta(
+    key TEXT PRIMARY KEY,
+    value BLOB NOT NULL
+);
+"""
+
+
+class _SqliteReceiptsMap(MappingABC):
+    """Lazy tx_id → receipt mapping served from the receipts table."""
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        self._conn = conn
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM receipts"
+                                  ).fetchone()[0]
+
+    def __iter__(self) -> Iterator[str]:
+        for (tx_id,) in self._conn.execute(
+                "SELECT tx_id FROM receipts ORDER BY rowid"):
+            yield tx_id
+
+    def __getitem__(self, tx_id: str) -> TransactionReceipt:
+        row = self._conn.execute(
+            "SELECT body FROM receipts WHERE tx_id = ?", (tx_id,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(tx_id)
+        return decode_receipt(row[0])
+
+    def __contains__(self, tx_id: object) -> bool:
+        return self._conn.execute(
+            "SELECT 1 FROM receipts WHERE tx_id = ?", (tx_id,)
+        ).fetchone() is not None
+
+
+class DurableBlockStore(BlockStore):
+    """Block log + sqlite index, with a bounded decoded-block cache."""
+
+    def __init__(self, conn: sqlite3.Connection, log: SegmentLog,
+                 cache_size: int = 256) -> None:
+        self._conn = conn
+        self._log = log
+        self._cache: OrderedDict[int, Block] = OrderedDict()
+        self._cache_size = cache_size
+        row = conn.execute("SELECT MAX(height) FROM blocks").fetchone()
+        self._height = -1 if row[0] is None else row[0]
+
+    # -- write path ----------------------------------------------------
+    def append_block(self, block: Block,
+                     receipts: Sequence[TransactionReceipt]) -> None:
+        if block.height != self._height + 1:
+            raise StorageError(
+                f"store expects height {self._height + 1}, "
+                f"got {block.height}"
+            )
+        loc = self._log.append(encode_block(block))
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO blocks(height, segment, offset, length, "
+                "block_hash) VALUES (?,?,?,?,?)",
+                (block.height, loc.segment, loc.offset, loc.length,
+                 block.block_hash),
+            )
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO txs(tx_id, height, pos) "
+                "VALUES (?,?,?)",
+                [(tx.tx_id, block.height, pos)
+                 for pos, tx in enumerate(block.transactions)],
+            )
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO receipts(tx_id, height, body) "
+                "VALUES (?,?,?)",
+                [(r.tx_id, block.height, encode_receipt(r))
+                 for r in receipts],
+            )
+        self._height = block.height
+        self._cache_put(block)
+
+    def truncate_above(self, height: int) -> None:
+        if height >= self._height:
+            return
+        row = self._conn.execute(
+            "SELECT segment, offset FROM blocks WHERE height = ?",
+            (height + 1,),
+        ).fetchone()
+        with self._conn:
+            self._conn.execute("DELETE FROM blocks WHERE height > ?",
+                               (height,))
+            self._conn.execute("DELETE FROM txs WHERE height > ?",
+                               (height,))
+            self._conn.execute("DELETE FROM receipts WHERE height > ?",
+                               (height,))
+        if row is not None:
+            self._log.truncate_to(row[0], row[1])
+        self._height = height
+        for h in [h for h in self._cache if h > height]:
+            del self._cache[h]
+
+    # -- read path -----------------------------------------------------
+    def _cache_put(self, block: Block) -> None:
+        self._cache[block.height] = block
+        self._cache.move_to_end(block.height)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
+    def block_at(self, height: int) -> Block:
+        cached = self._cache.get(height)
+        if cached is not None:
+            self._cache.move_to_end(height)
+            return cached
+        row = self._conn.execute(
+            "SELECT segment, offset, block_hash FROM blocks "
+            "WHERE height = ?", (height,),
+        ).fetchone()
+        if row is None:
+            raise InvalidBlock(f"no block at height {height}")
+        block = decode_block(self._log.read(row[0], row[1]),
+                             expected_hash=bytes(row[2]))
+        self._cache_put(block)
+        return block
+
+    def head_block(self) -> Block:
+        return self.block_at(self._height)
+
+    def height(self) -> int:
+        return self._height
+
+    def __len__(self) -> int:
+        return self._height + 1
+
+    def iter_blocks(self, start: int = 0) -> Iterator[Block]:
+        for height in range(start, self._height + 1):
+            yield self.block_at(height)
+
+    def tx_location(self, tx_id: str) -> tuple[int, int] | None:
+        row = self._conn.execute(
+            "SELECT height, pos FROM txs WHERE tx_id = ?", (tx_id,)
+        ).fetchone()
+        return None if row is None else (row[0], row[1])
+
+    def receipt_for(self, tx_id: str) -> TransactionReceipt | None:
+        row = self._conn.execute(
+            "SELECT body FROM receipts WHERE tx_id = ?", (tx_id,)
+        ).fetchone()
+        return None if row is None else decode_receipt(row[0])
+
+    def receipts_map(self) -> MappingABC:
+        return _SqliteReceiptsMap(self._conn)
+
+    def sync(self) -> None:
+        self._log.sync()
+
+    def close(self) -> None:
+        self._log.close()
+
+
+class DurableRecordStore(RecordStore):
+    """Record log + sqlite index (record_id → location, position order)."""
+
+    def __init__(self, conn: sqlite3.Connection, log: SegmentLog,
+                 cache_size: int = 1024) -> None:
+        self._conn = conn
+        self._log = log
+        self._cache: OrderedDict[int, dict] = OrderedDict()
+        self._cache_size = cache_size
+        row = conn.execute("SELECT MAX(position) FROM records").fetchone()
+        self._count = 0 if row[0] is None else row[0] + 1
+
+    def append(self, record: dict) -> int:
+        position = self._count
+        loc = self._log.append(encode_record(record))
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO records(position, record_id, segment, offset, "
+                "length) VALUES (?,?,?,?,?)",
+                (position, str(record.get("record_id") or position),
+                 loc.segment, loc.offset, loc.length),
+            )
+        self._count = position + 1
+        self._cache_put(position, dict(record))
+        return position
+
+    def replace(self, position: int, record: dict) -> None:
+        """Annotation support: append the updated copy, repoint the index
+        (the old frame becomes dead weight in the log — append-only)."""
+        if not 0 <= position < self._count:
+            raise UnknownEntity(f"no record at position {position}")
+        loc = self._log.append(encode_record(record))
+        with self._conn:
+            self._conn.execute(
+                "UPDATE records SET segment = ?, offset = ?, length = ? "
+                "WHERE position = ?",
+                (loc.segment, loc.offset, loc.length, position),
+            )
+        self._cache_put(position, dict(record))
+
+    def _cache_put(self, position: int, record: dict) -> None:
+        self._cache[position] = record
+        self._cache.move_to_end(position)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
+    def get(self, position: int) -> dict:
+        cached = self._cache.get(position)
+        if cached is not None:
+            self._cache.move_to_end(position)
+            return dict(cached)
+        row = self._conn.execute(
+            "SELECT segment, offset FROM records WHERE position = ?",
+            (position,),
+        ).fetchone()
+        if row is None:
+            raise UnknownEntity(f"no record at position {position}")
+        record = decode_record(self._log.read(row[0], row[1]))
+        self._cache_put(position, record)
+        return dict(record)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def iter_items(self) -> Iterator[tuple[int, dict]]:
+        # Driven by the index, not range(count): external damage to a
+        # replaced record can leave a position hole after recovery.
+        positions = [pos for (pos,) in self._conn.execute(
+            "SELECT position FROM records ORDER BY position")]
+        for position in positions:
+            yield position, self.get(position)
+
+    def iter_records(self) -> Iterator[dict]:
+        for _, record in self.iter_items():
+            yield record
+
+    def location_of_id(self, record_id: str) -> int | None:
+        """sqlite-level record_id → position (survives restarts even
+        before the in-memory indexes are rebuilt)."""
+        row = self._conn.execute(
+            "SELECT position FROM records WHERE record_id = ?",
+            (record_id,),
+        ).fetchone()
+        return None if row is None else row[0]
+
+    def sync(self) -> None:
+        self._log.sync()
+
+    def close(self) -> None:
+        self._log.close()
+
+
+class DurableStateSnapshotStore(StateSnapshotStore):
+    """The state image lives entirely in sqlite (namespace → keys),
+    replaced atomically in one transaction per checkpoint."""
+
+    _HEIGHT_KEY = "state_snapshot_height"
+    _HASH_KEY = "state_snapshot_block_hash"
+
+    def __init__(self, conn: sqlite3.Connection) -> None:
+        self._conn = conn
+
+    def save(self, height: int,
+             entries: Sequence[tuple[str, str, Any]],
+             block_hash: bytes = b"") -> None:
+        with self._conn:
+            self._conn.execute("DELETE FROM state_entries")
+            self._conn.executemany(
+                "INSERT INTO state_entries(namespace, key, value) "
+                "VALUES (?,?,?)",
+                [(ns, key, canonical_encode(value))
+                 for ns, key, value in entries],
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta(key, value) VALUES (?,?)",
+                (self._HEIGHT_KEY, canonical_encode(height)),
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta(key, value) VALUES (?,?)",
+                (self._HASH_KEY, canonical_encode(block_hash)),
+            )
+
+    def load(self) -> tuple[int, list[tuple[str, str, Any]]] | None:
+        height = self.snapshot_height()
+        if height is None:
+            return None
+        entries = [
+            (ns, key, canonical_decode(value))
+            for ns, key, value in self._conn.execute(
+                "SELECT namespace, key, value FROM state_entries "
+                "ORDER BY namespace, key")
+        ]
+        return height, entries
+
+    def snapshot_height(self) -> int | None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (self._HEIGHT_KEY,)
+        ).fetchone()
+        return None if row is None else canonical_decode(row[0])
+
+    def snapshot_block_hash(self) -> bytes:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (self._HASH_KEY,)
+        ).fetchone()
+        return b"" if row is None else canonical_decode(row[0])
+
+    def clear(self) -> None:
+        with self._conn:
+            self._conn.execute("DELETE FROM state_entries")
+            self._conn.execute(
+                "DELETE FROM meta WHERE key IN (?, ?)",
+                (self._HEIGHT_KEY, self._HASH_KEY),
+            )
+
+
+class DurableStorage(MetaStore):
+    """One directory = one durable chain stack (blocks, records, state,
+    meta).  Runs crash recovery on open; see the module docstring for
+    the commit discipline it enforces."""
+
+    def __init__(self, directory: str | os.PathLike,
+                 max_segment_bytes: int = 4 * 1024 * 1024,
+                 block_cache_size: int = 256) -> None:
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self._conn = sqlite3.connect(os.path.join(self.directory,
+                                                  "index.db"))
+        self._conn.executescript(_SCHEMA)
+        # WAL keeps index commits append-only (no per-commit journal
+        # rewrite) — an order of magnitude cheaper for the one-row
+        # transactions the append path issues; synchronous=NORMAL still
+        # fsyncs the WAL at checkpoints, matching the segment logs'
+        # fsync-on-seal discipline.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self.block_log = SegmentLog(
+            os.path.join(self.directory, "blocks-log"),
+            max_segment_bytes=max_segment_bytes,
+        )
+        self.record_log = SegmentLog(
+            os.path.join(self.directory, "records-log"),
+            max_segment_bytes=max_segment_bytes,
+        )
+        self.recovered_blocks = self._recover_blocks()
+        self.recovered_records = self._recover_records()
+        self.blocks = DurableBlockStore(self._conn, self.block_log,
+                                        cache_size=block_cache_size)
+        self.records = DurableRecordStore(self._conn, self.record_log)
+        self.state = DurableStateSnapshotStore(self._conn)
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def _frame_ok(self, log: SegmentLog, segment: int, offset: int,
+                  length: int) -> bool:
+        payload = log.frame_at(segment, offset)
+        return payload is not None and \
+            len(payload) + FRAME_OVERHEAD == length
+
+    def _recover_blocks(self) -> int:
+        """Reconcile the block log with its index table.
+
+        Walks the index tail backwards dropping rows whose frames are
+        partial/garbled (a crash mid-append, or an operator truncating
+        the segment file), then truncates the log to the end of the last
+        surviving indexed frame — discarding any frames that were written
+        but never indexed (a crash between log flush and index commit).
+        Blocks are append-only, so height order *is* log-address order.
+        Returns the number of index rows dropped.
+        """
+        dropped = 0
+        while True:
+            row = self._conn.execute(
+                "SELECT height, segment, offset, length FROM blocks "
+                "ORDER BY height DESC LIMIT 1"
+            ).fetchone()
+            if row is None:
+                self.block_log.truncate_to(0, 0)
+                return dropped
+            height, segment, offset, length = row
+            if self._frame_ok(self.block_log, segment, offset, length):
+                self.block_log.truncate_to(segment, offset + length)
+                return dropped
+            with self._conn:
+                for table in ("blocks", "txs", "receipts"):
+                    self._conn.execute(
+                        f"DELETE FROM {table} WHERE height = ?", (height,)
+                    )
+            dropped += 1
+
+    def _recover_records(self) -> int:
+        """Like :meth:`_recover_blocks` for the record log — but ordered
+        by **log address**, not position: ``replace()`` (annotation) can
+        repoint an *old* position at the newest frame, so the frame the
+        log must be truncated after is the highest-addressed one any row
+        references, which is not necessarily the highest position's.
+        """
+        dropped = 0
+        while True:
+            row = self._conn.execute(
+                "SELECT position, segment, offset, length FROM records "
+                "ORDER BY segment DESC, offset DESC LIMIT 1"
+            ).fetchone()
+            if row is None:
+                self.record_log.truncate_to(0, 0)
+                return dropped
+            position, segment, offset, length = row
+            if self._frame_ok(self.record_log, segment, offset, length):
+                self.record_log.truncate_to(segment, offset + length)
+                return dropped
+            with self._conn:
+                self._conn.execute(
+                    "DELETE FROM records WHERE position = ?", (position,)
+                )
+            dropped += 1
+
+    # ------------------------------------------------------------------
+    # Meta
+    # ------------------------------------------------------------------
+    def put_meta(self, key: str, value: Any) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta(key, value) VALUES (?,?)",
+                (key, canonical_encode(value)),
+            )
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return default if row is None else canonical_decode(row[0])
+
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        self.block_log.sync()
+        self.record_log.sync()
+        # WAL commits under synchronous=NORMAL are not individually
+        # fsynced; flushing the WAL into the main database here makes
+        # everything indexed so far power-loss durable — checkpoints are
+        # the durability points, same as the logs' fsync-on-seal.
+        self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+    def close(self) -> None:
+        self.block_log.close()
+        self.record_log.close()
+        self._conn.commit()
+        self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        self._conn.close()

@@ -1,0 +1,252 @@
+"""Append-only segment log — the durable backend's byte layer.
+
+A log is a directory of numbered segment files (``seg-00000000.log``,
+``seg-00000001.log``, …).  Entries are framed as
+
+    [4-byte LE payload length][payload][4-byte LE CRC-32 of payload]
+
+and addressed by ``(segment, offset)``.  Frames never span segments: when
+the current segment would exceed ``max_segment_bytes`` it is *sealed* —
+flushed, fsynced, closed — and a new segment starts.  ``sync()`` fsyncs
+the live segment on demand (the chain layer calls it at checkpoints).
+
+Crash recovery contract: a frame is *valid* iff its length prefix fits in
+the file and the CRC matches.  A crash mid-write leaves a partial or
+garbled tail; :meth:`frame_at` reports it invalid and the index layer
+truncates back to the last entry it committed.  The ``fail_after_bytes``
+fault-injection hook makes that scenario reproducible in tests: the next
+append writes only a prefix of the frame and then raises
+:class:`CrashPoint`, exactly what ``kill -9`` mid-``write`` leaves
+behind.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import StorageError
+
+_LEN = struct.Struct("<I")
+FRAME_OVERHEAD = 8          # 4-byte length + 4-byte CRC
+_MAX_PAYLOAD = 1 << 28      # 256 MiB sanity bound on the length prefix
+
+
+class CrashPoint(StorageError):
+    """Raised by the fault-injection hook to simulate a mid-write crash."""
+
+
+@dataclass(frozen=True)
+class LogLocation:
+    """Address of one frame: segment number, byte offset, total frame length."""
+
+    segment: int
+    offset: int
+    length: int
+
+    @property
+    def end_offset(self) -> int:
+        return self.offset + self.length
+
+
+def _segment_name(segment: int) -> str:
+    return f"seg-{segment:08d}.log"
+
+
+class SegmentLog:
+    """Append-only, CRC-framed, segment-rolled byte log."""
+
+    def __init__(self, directory: str | os.PathLike,
+                 max_segment_bytes: int = 4 * 1024 * 1024) -> None:
+        if max_segment_bytes < FRAME_OVERHEAD + 1:
+            raise StorageError("max_segment_bytes is too small to hold a frame")
+        self.directory = os.fspath(directory)
+        self.max_segment_bytes = max_segment_bytes
+        os.makedirs(self.directory, exist_ok=True)
+        # Fault injection: when set, the next append writes only this many
+        # bytes of the frame, flushes, and raises CrashPoint.
+        self.fail_after_bytes: int | None = None
+        self.appends = 0
+        self.segments_sealed = 0
+        segments = self._discover()
+        self._current = segments[-1] if segments else 0
+        # Size of the live segment, tracked in memory so the append hot
+        # path never stats the filesystem.
+        self._current_size = self.segment_size(self._current)
+        self._write_fh = None   # opened lazily by append/truncate
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def _discover(self) -> list[int]:
+        found = []
+        for name in os.listdir(self.directory):
+            if name.startswith("seg-") and name.endswith(".log"):
+                try:
+                    found.append(int(name[4:-4]))
+                except ValueError:
+                    continue
+        return sorted(found)
+
+    def _path(self, segment: int) -> str:
+        return os.path.join(self.directory, _segment_name(segment))
+
+    def segment_size(self, segment: int) -> int:
+        try:
+            return os.path.getsize(self._path(segment))
+        except OSError:
+            return 0
+
+    @property
+    def current_segment(self) -> int:
+        return self._current
+
+    def end_location(self) -> tuple[int, int]:
+        """``(segment, offset)`` one past the last byte written."""
+        return self._current, self._current_size
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def _open_for_append(self):
+        if self._write_fh is None:
+            self._write_fh = open(self._path(self._current), "ab")
+        return self._write_fh
+
+    def _seal_current(self) -> None:
+        """Flush + fsync + close the live segment and start the next."""
+        fh = self._open_for_append()
+        fh.flush()
+        os.fsync(fh.fileno())
+        fh.close()
+        self._write_fh = None
+        self._current += 1
+        self._current_size = 0
+        self.segments_sealed += 1
+
+    def append(self, payload: bytes) -> LogLocation:
+        """Frame and append ``payload``; returns its address.
+
+        The frame is flushed to the OS before returning (readable by any
+        other handle); fsync happens at seal/sync/close time.
+        """
+        if len(payload) > _MAX_PAYLOAD:
+            raise StorageError("payload exceeds the frame sanity bound")
+        if self._current_size >= self.max_segment_bytes:
+            self._seal_current()
+        fh = self._open_for_append()
+        offset = self._current_size
+        frame = (_LEN.pack(len(payload)) + payload
+                 + _LEN.pack(zlib.crc32(payload)))
+        if self.fail_after_bytes is not None:
+            cut = min(self.fail_after_bytes, len(frame))
+            self.fail_after_bytes = None
+            fh.write(frame[:cut])
+            fh.flush()
+            self._current_size += cut
+            raise CrashPoint(
+                f"injected crash after {cut}/{len(frame)} frame bytes"
+            )
+        fh.write(frame)
+        fh.flush()
+        self._current_size += len(frame)
+        self.appends += 1
+        return LogLocation(self._current, offset, len(frame))
+
+    def sync(self) -> None:
+        """Flush + fsync the live segment (checkpoint durability)."""
+        if self._write_fh is not None:
+            self._write_fh.flush()
+            os.fsync(self._write_fh.fileno())
+
+    def close(self) -> None:
+        if self._write_fh is not None:
+            self._write_fh.flush()
+            os.fsync(self._write_fh.fileno())
+            self._write_fh.close()
+            self._write_fh = None
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def frame_at(self, segment: int, offset: int) -> bytes | None:
+        """Payload of the frame at ``(segment, offset)``, or ``None`` if
+        the frame is partial, garbled, or absent (CRC checked)."""
+        if self._write_fh is not None:
+            self._write_fh.flush()
+        path = self._path(segment)
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(offset)
+                head = fh.read(4)
+                if len(head) != 4:
+                    return None
+                (length,) = _LEN.unpack(head)
+                if length > _MAX_PAYLOAD:
+                    return None
+                body = fh.read(length + 4)
+                if len(body) != length + 4:
+                    return None
+                payload, crc_bytes = body[:length], body[length:]
+                if zlib.crc32(payload) != _LEN.unpack(crc_bytes)[0]:
+                    return None
+                return payload
+        except OSError:
+            return None
+
+    def read(self, segment: int, offset: int) -> bytes:
+        """Payload at an address the index vouches for; raises on damage."""
+        payload = self.frame_at(segment, offset)
+        if payload is None:
+            raise StorageError(
+                f"invalid frame at segment {segment} offset {offset} "
+                "(index and log disagree — run recovery)"
+            )
+        return payload
+
+    def scan(self, start: tuple[int, int] = (0, 0)
+             ) -> Iterator[tuple[LogLocation, bytes]]:
+        """Iterate valid frames from ``start``, stopping at the first
+        invalid one (the recovery boundary)."""
+        segment, offset = start
+        while True:
+            payload = self.frame_at(segment, offset)
+            if payload is None:
+                # End of this segment: advance iff a later segment exists.
+                nxt = segment + 1
+                if (offset == self.segment_size(segment)
+                        and os.path.exists(self._path(nxt))):
+                    segment, offset = nxt, 0
+                    continue
+                return
+            loc = LogLocation(segment, offset,
+                              FRAME_OVERHEAD + len(payload))
+            yield loc, payload
+            offset = loc.end_offset
+
+    # ------------------------------------------------------------------
+    # Truncation (recovery + reorgs)
+    # ------------------------------------------------------------------
+    def truncate_to(self, segment: int, offset: int) -> None:
+        """Discard every byte at/after ``(segment, offset)``.
+
+        Used two ways: recovery truncates a garbled tail, and reorgs cut
+        the log back to the fork point before appending the new suffix.
+        """
+        self.close()
+        for seg in self._discover():
+            if seg > segment:
+                os.unlink(self._path(seg))
+        path = self._path(segment)
+        if os.path.exists(path):
+            with open(path, "rb+") as fh:
+                fh.truncate(offset)
+        elif offset != 0:
+            raise StorageError(
+                f"cannot truncate into missing segment {segment}"
+            )
+        self._current = segment
+        self._current_size = offset

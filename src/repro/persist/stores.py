@@ -1,0 +1,349 @@
+"""Storage interfaces and the in-memory backend.
+
+Three abstractions, one per kind of durable truth a chain stack owns:
+
+* :class:`BlockStore` — the committed chain itself: blocks in height
+  order, the transaction index (tx_id → height/position), and execution
+  receipts.  Truncation above a height is a first-class operation because
+  reorgs are.
+* :class:`RecordStore` — the append-only provenance record list the
+  off-chain database indexes; positions are stable ints.
+* :class:`StateSnapshotStore` — one materialized ``StateStore`` image at
+  a height, so a reopened chain resumes from its last checkpoint instead
+  of replaying from genesis.
+
+Plus a small :class:`MetaStore` key→value surface the higher layers use
+to persist their rebuildable side-state (anchor batches, beacon rounds,
+facade lock tables).
+
+The in-memory backend here is the seed's original behavior, extracted
+behind the interfaces: ``Blockchain.blocks`` / ``receipts`` /
+``_tx_index`` live in :class:`MemoryBlockStore` now, and
+``ProvenanceDatabase._records`` lives in :class:`MemoryRecordStore`.  The
+durable counterparts are in :mod:`repro.persist.durable`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator, Mapping, Sequence
+
+from ..chain.block import Block
+from ..chain.receipts import TransactionReceipt
+from ..errors import InvalidBlock, StorageError
+
+
+# ---------------------------------------------------------------------------
+# Interfaces
+# ---------------------------------------------------------------------------
+class BlockStore(ABC):
+    """Committed blocks + transaction index + receipts, by height."""
+
+    @abstractmethod
+    def append_block(self, block: Block,
+                     receipts: Sequence[TransactionReceipt]) -> None:
+        """Commit ``block`` (height must be exactly head + 1) and its
+        receipts atomically."""
+
+    @abstractmethod
+    def block_at(self, height: int) -> Block:
+        """The block at ``height``; raises :class:`InvalidBlock` when absent."""
+
+    @abstractmethod
+    def head_block(self) -> Block:
+        """The highest block (hot path: called on every append)."""
+
+    @abstractmethod
+    def height(self) -> int:
+        """Head height (genesis is 0); -1 when the store is empty."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored blocks (height + 1 when non-empty)."""
+
+    @abstractmethod
+    def iter_blocks(self, start: int = 0) -> Iterator[Block]:
+        """Blocks in height order from ``start`` to the head."""
+
+    @abstractmethod
+    def tx_location(self, tx_id: str) -> tuple[int, int] | None:
+        """``(height, position)`` of a committed transaction."""
+
+    @abstractmethod
+    def receipt_for(self, tx_id: str) -> TransactionReceipt | None:
+        """Execution receipt of a committed transaction."""
+
+    @abstractmethod
+    def receipts_map(self) -> Mapping[str, TransactionReceipt]:
+        """Read-only mapping view tx_id → receipt (len/iter/lookup)."""
+
+    @abstractmethod
+    def truncate_above(self, height: int) -> None:
+        """Drop every block above ``height`` plus its tx index entries
+        and receipts (the reorg primitive)."""
+
+    def sync(self) -> None:
+        """Make everything appended so far durable (no-op in memory)."""
+
+    def close(self) -> None:
+        """Release resources; the store must be reopenable afterwards."""
+
+
+class RecordStore(ABC):
+    """Append-only provenance records addressed by integer position."""
+
+    @abstractmethod
+    def append(self, record: dict) -> int:
+        """Store a record; returns its position."""
+
+    @abstractmethod
+    def get(self, position: int) -> dict:
+        """A *copy* of the record at ``position``."""
+
+    @abstractmethod
+    def replace(self, position: int, record: dict) -> None:
+        """Overwrite the record at ``position`` (annotation support)."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def iter_items(self) -> Iterator[tuple[int, dict]]:
+        """``(position, record copy)`` pairs in position order."""
+
+    def iter_records(self) -> Iterator[dict]:
+        """Record copies in position order."""
+        for _, record in self.iter_items():
+            yield record
+
+    def iter_records_raw(self) -> Iterator[Mapping[str, Any]]:
+        """Read-only iteration *without* per-record copies — the honest
+        scan baseline (callers copy only what they keep)."""
+        return self.iter_records()
+
+    def sync(self) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class StateSnapshotStore(ABC):
+    """At most one materialized state image, tagged with its height.
+
+    The snapshot also records the *block hash* at its height, binding the
+    image to one specific branch: after a reorg (or a crash recovery that
+    truncated the chain), a restore only trusts the image if the block at
+    ``snapshot_height`` still hashes the same.
+    """
+
+    @abstractmethod
+    def save(self, height: int,
+             entries: Sequence[tuple[str, str, Any]],
+             block_hash: bytes = b"") -> None:
+        """Replace the snapshot with ``entries`` (namespace, key, value)."""
+
+    @abstractmethod
+    def load(self) -> tuple[int, list[tuple[str, str, Any]]] | None:
+        """``(height, entries)`` of the stored snapshot, or ``None``."""
+
+    @abstractmethod
+    def snapshot_height(self) -> int | None:
+        """Height of the stored snapshot without loading its entries."""
+
+    @abstractmethod
+    def snapshot_block_hash(self) -> bytes:
+        """Block hash the snapshot was taken at (b"" when unrecorded)."""
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop the snapshot (it became unreachable after a reorg)."""
+
+
+class MetaStore(ABC):
+    """Tiny durable key→value surface for layer side-state."""
+
+    @abstractmethod
+    def put_meta(self, key: str, value: Any) -> None: ...
+
+    @abstractmethod
+    def get_meta(self, key: str, default: Any = None) -> Any: ...
+
+
+# ---------------------------------------------------------------------------
+# In-memory backend (the seed's original data structures, extracted)
+# ---------------------------------------------------------------------------
+class MemoryBlockStore(BlockStore):
+    """Blocks in a list, tx index and receipts in dicts — RAM only."""
+
+    def __init__(self) -> None:
+        self._blocks: list[Block] = []
+        self._tx_index: dict[str, tuple[int, int]] = {}
+        self._receipts: dict[str, TransactionReceipt] = {}
+
+    def append_block(self, block: Block,
+                     receipts: Sequence[TransactionReceipt]) -> None:
+        if block.height != len(self._blocks):
+            raise StorageError(
+                f"store expects height {len(self._blocks)}, "
+                f"got {block.height}"
+            )
+        self._blocks.append(block)
+        for pos, tx in enumerate(block.transactions):
+            self._tx_index[tx.tx_id] = (block.height, pos)
+        for receipt in receipts:
+            self._receipts[receipt.tx_id] = receipt
+
+    def block_at(self, height: int) -> Block:
+        if not 0 <= height < len(self._blocks):
+            raise InvalidBlock(f"no block at height {height}")
+        return self._blocks[height]
+
+    def head_block(self) -> Block:
+        return self._blocks[-1]
+
+    def height(self) -> int:
+        return len(self._blocks) - 1
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def iter_blocks(self, start: int = 0) -> Iterator[Block]:
+        return iter(self._blocks[start:])
+
+    def tx_location(self, tx_id: str) -> tuple[int, int] | None:
+        return self._tx_index.get(tx_id)
+
+    def receipt_for(self, tx_id: str) -> TransactionReceipt | None:
+        return self._receipts.get(tx_id)
+
+    def receipts_map(self) -> Mapping[str, TransactionReceipt]:
+        return self._receipts
+
+    def truncate_above(self, height: int) -> None:
+        while len(self._blocks) - 1 > height:
+            block = self._blocks.pop()
+            for tx in block.transactions:
+                self._tx_index.pop(tx.tx_id, None)
+                self._receipts.pop(tx.tx_id, None)
+
+    # Test/bench conveniences (tamper simulation; not part of BlockStore).
+    def reset(self, blocks: list[Block]) -> None:
+        """Wholesale-replace the chain (bench probes build tampered
+        copies this way); receipts are cleared, the tx index rebuilt."""
+        self._blocks = list(blocks)
+        self._receipts.clear()
+        self._tx_index = {
+            tx.tx_id: (block.height, pos)
+            for block in self._blocks
+            for pos, tx in enumerate(block.transactions)
+        }
+
+    def replace_at(self, height: int, block: Block) -> None:
+        """Raw item assignment (tamper benches corrupt mid-chain blocks)."""
+        self._blocks[height] = block
+
+
+class MemoryRecordStore(RecordStore):
+    """The seed's ``ProvenanceDatabase._records`` list, behind the API."""
+
+    def __init__(self) -> None:
+        self._records: list[dict] = []
+
+    def append(self, record: dict) -> int:
+        self._records.append(dict(record))
+        return len(self._records) - 1
+
+    def get(self, position: int) -> dict:
+        return dict(self._records[position])
+
+    def replace(self, position: int, record: dict) -> None:
+        self._records[position] = dict(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def iter_items(self) -> Iterator[tuple[int, dict]]:
+        for position, record in enumerate(self._records):
+            yield position, dict(record)
+
+    def iter_records_raw(self) -> Iterator[dict]:
+        return iter(self._records)
+
+
+class MemoryStateSnapshotStore(StateSnapshotStore):
+    def __init__(self) -> None:
+        self._snapshot: tuple[int, list, bytes] | None = None
+
+    def save(self, height: int,
+             entries: Sequence[tuple[str, str, Any]],
+             block_hash: bytes = b"") -> None:
+        self._snapshot = (height, [tuple(e) for e in entries], block_hash)
+
+    def load(self) -> tuple[int, list[tuple[str, str, Any]]] | None:
+        if self._snapshot is None:
+            return None
+        height, entries, _ = self._snapshot
+        return height, list(entries)
+
+    def snapshot_height(self) -> int | None:
+        return self._snapshot[0] if self._snapshot else None
+
+    def snapshot_block_hash(self) -> bytes:
+        return self._snapshot[2] if self._snapshot else b""
+
+    def clear(self) -> None:
+        self._snapshot = None
+
+
+class MemoryMetaStore(MetaStore):
+    def __init__(self) -> None:
+        self._meta: dict[str, Any] = {}
+
+    def put_meta(self, key: str, value: Any) -> None:
+        self._meta[key] = value
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        return self._meta.get(key, default)
+
+
+# ---------------------------------------------------------------------------
+# Sequence view — keeps the `chain.blocks` reading API alive
+# ---------------------------------------------------------------------------
+class BlockSequenceView(Sequence):
+    """Read-only sequence facade over a :class:`BlockStore`.
+
+    Supports the access patterns the rest of the library (and its tests
+    and benches) use on the former ``Blockchain.blocks`` list: indexing
+    with negative indices, slicing, ``len``, iteration.  Item assignment
+    is forwarded to the memory backend's tamper hook so the Figure-2
+    corruption benches keep working; durable stores refuse it.
+    """
+
+    def __init__(self, store: BlockStore) -> None:
+        self._store = store
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self) -> Iterator[Block]:
+        return self._store.iter_blocks()
+
+    def __getitem__(self, index):
+        n = len(self._store)
+        if isinstance(index, slice):
+            return [self._store.block_at(i)
+                    for i in range(*index.indices(n))]
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("block index out of range")
+        return self._store.block_at(index)
+
+    def __setitem__(self, index: int, block: Block) -> None:
+        if not isinstance(self._store, MemoryBlockStore):
+            raise StorageError(
+                "direct block assignment is a tamper-simulation hook; "
+                "durable stores only mutate via append/truncate"
+            )
+        if index < 0:
+            index += len(self._store)
+        self._store.replace_at(index, block)

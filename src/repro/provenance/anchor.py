@@ -249,6 +249,64 @@ class AnchorService:
         )
 
     # ------------------------------------------------------------------
+    # Durability (state dump/restore for persistent deployments)
+    # ------------------------------------------------------------------
+    def dump_state(self) -> dict:
+        """Everything needed to rebuild the service after a restart, as a
+        canonical-encodable mapping: anchored batch membership (record
+        ids + digests, from which the Merkle trees are rebuilt), receipt
+        fields, and the pending batch.  The anchor *transactions* are not
+        here — they live on the chain, which has its own store."""
+        batches: list[list] = [
+            [None] * receipt.record_count for receipt in self.receipts
+        ]
+        for record_id, (pos, index, digest) in self._locator.items():
+            batches[pos][index] = [record_id, digest]
+        return {
+            "anchor_count": self._anchor_count,
+            "bytes_on_chain": self.bytes_on_chain,
+            "receipts": [
+                {
+                    "anchor_id": r.anchor_id,
+                    "merkle_root": r.merkle_root,
+                    "block_height": r.block_height,
+                    "tx_id": r.tx_id,
+                    "record_count": r.record_count,
+                }
+                for r in self.receipts
+            ],
+            "batches": batches,
+            "pending_records": list(self._pending.records),
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Inverse of :meth:`dump_state`; replaces all service state."""
+        self._anchor_count = int(state["anchor_count"])
+        self.bytes_on_chain = int(state["bytes_on_chain"])
+        self.receipts = [
+            AnchorReceipt(
+                anchor_id=r["anchor_id"],
+                merkle_root=r["merkle_root"],
+                block_height=r["block_height"],
+                tx_id=r["tx_id"],
+                record_count=r["record_count"],
+            )
+            for r in state["receipts"]
+        ]
+        self._trees = []
+        self._locator = {}
+        for position, members in enumerate(state["batches"]):
+            digests = [digest for _, digest in members]
+            self._trees.append(MerkleTree(digests))
+            for index, (record_id, digest) in enumerate(members):
+                self._locator[str(record_id)] = (position, index, digest)
+        self._pending = _PendingBatch()
+        for record in state["pending_records"]:
+            self._pending.records.append(dict(record))
+            self._pending.digests.append(record_digest(dict(record)))
+            self._pending.ids.add(str(record["record_id"]))
+
+    # ------------------------------------------------------------------
     @property
     def pending_count(self) -> int:
         return len(self._pending.records)

@@ -91,13 +91,18 @@ class BeaconChain:
     """A :class:`Blockchain` whose payload is shard-root commitments."""
 
     def __init__(self, params: ChainParams | None = None,
-                 sender: str = "beacon-sealer") -> None:
-        self.chain = Blockchain(params or ChainParams(chain_id="beacon"))
+                 sender: str = "beacon-sealer",
+                 store=None, snapshot_store=None) -> None:
+        self.chain = Blockchain(params or ChainParams(chain_id="beacon"),
+                                store=store, snapshot_store=snapshot_store)
         self.sender = sender
         self.receipts: list[BeaconReceipt] = []
         self._trees: list[MerkleTree] = []
         # (shard_id, shard height) -> (round index, leaf index)
         self._locator: dict[tuple[int, int], tuple[int, int]] = {}
+        # Per-round (shard_id, height, block_hash) entries, kept so the
+        # round trees can be dumped/rebuilt across a restart.
+        self._round_entries: list[list[tuple[int, int, bytes]]] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -167,9 +172,58 @@ class BeaconChain:
         )
         self.receipts.append(receipt)
         self._trees.append(tree)
+        self._round_entries.append([(sid, h, bh) for sid, h, bh in entries])
         for index, (sid, h, _) in enumerate(entries):
             self._locator[(sid, h)] = (round_no, index)
         return receipt
+
+    # ------------------------------------------------------------------
+    # Durability (state dump/restore for persistent deployments)
+    # ------------------------------------------------------------------
+    def dump_state(self) -> dict:
+        """Round commitments as a canonical-encodable mapping.  The
+        beacon *chain* persists through its own block store; this covers
+        the derived proof state (trees, locator, receipts)."""
+        return {
+            "receipts": [
+                {
+                    "round_no": r.round_no,
+                    "merkle_root": r.merkle_root,
+                    "block_height": r.block_height,
+                    "tx_id": r.tx_id,
+                    "leaf_count": r.leaf_count,
+                }
+                for r in self.receipts
+            ],
+            "rounds": [
+                [[sid, h, bh] for sid, h, bh in entries]
+                for entries in self._round_entries
+            ],
+        }
+
+    def restore_state(self, state) -> None:
+        """Inverse of :meth:`dump_state`; replaces all derived state."""
+        self.receipts = [
+            BeaconReceipt(
+                round_no=r["round_no"],
+                merkle_root=r["merkle_root"],
+                block_height=r["block_height"],
+                tx_id=r["tx_id"],
+                leaf_count=r["leaf_count"],
+            )
+            for r in state["receipts"]
+        ]
+        self._trees = []
+        self._round_entries = []
+        self._locator = {}
+        for round_no, entries in enumerate(state["rounds"]):
+            entries = [(int(sid), int(h), bh) for sid, h, bh in entries]
+            self._round_entries.append(entries)
+            self._trees.append(MerkleTree(
+                [shard_block_leaf(sid, h, bh) for sid, h, bh in entries]
+            ))
+            for index, (sid, h, _) in enumerate(entries):
+                self._locator[(sid, h)] = (round_no, index)
 
     # ------------------------------------------------------------------
     # Proofs

@@ -33,22 +33,62 @@ from .router import ShardRouter, namespace_of
 
 
 class Shard:
-    """One shard's full stack (chain, mempool, database, anchors, queries)."""
+    """One shard's full stack (chain, mempool, database, anchors, queries).
+
+    With a :class:`~repro.persist.durable.DurableStorage` attached, the
+    chain, record database, and state snapshot live in the shard's store
+    directory, and anchor-service state is checkpointed into the store's
+    meta table — reopening the same directory restores the whole stack
+    without genesis replay.  Mempool contents are deliberately *not*
+    persisted: an unsealed transaction was never acknowledged as durable.
+    """
+
+    _ANCHOR_META_KEY = "anchor_state"
 
     def __init__(self, shard_id: int, params: ChainParams,
-                 anchor_batch_size: int = 64) -> None:
+                 anchor_batch_size: int = 64,
+                 storage=None, snapshot_interval: int = 0) -> None:
         self.shard_id = shard_id
-        self.chain = Blockchain(params)
+        self.storage = storage
+        if storage is None:
+            self.chain = Blockchain(params)
+            self.database = ProvenanceDatabase()
+        else:
+            self.chain = Blockchain(
+                params,
+                store=storage.blocks,
+                snapshot_store=storage.state,
+                snapshot_interval=snapshot_interval,
+            )
+            self.database = ProvenanceDatabase(store=storage.records)
         self.mempool = Mempool()
-        self.database = ProvenanceDatabase()
         self.anchor = AnchorService(
             self.chain,
             batch_size=anchor_batch_size,
             sender=f"shard-{shard_id}-anchor",
         )
+        if storage is not None:
+            anchor_state = storage.get_meta(self._ANCHOR_META_KEY)
+            if anchor_state is not None:
+                self.anchor.restore_state(anchor_state)
         self.query = ProvenanceQueryEngine(
             self.database, anchor_service=self.anchor, cache=QueryCache()
         )
+
+    def checkpoint(self) -> None:
+        """Persist anchor state + state snapshot + fsync (durable only)."""
+        if self.storage is None:
+            return
+        self.storage.put_meta(self._ANCHOR_META_KEY,
+                              self.anchor.dump_state())
+        self.chain.checkpoint()
+        self.storage.sync()
+
+    def close(self) -> None:
+        if self.storage is None:
+            return
+        self.checkpoint()
+        self.storage.close()
 
 
 @dataclass(frozen=True)
@@ -111,6 +151,10 @@ class SubmitReport:
 class ShardedChain:
     """Facade over N shards, a router, a lock table, and the beacon."""
 
+    _FACADE_META_KEY = "facade_state"
+    _BEACON_META_KEY = "beacon_state"
+    _LAYOUT_META_KEY = "layout"
+
     def __init__(
         self,
         n_shards: int,
@@ -119,12 +163,43 @@ class ShardedChain:
         anchor_batch_size: int = 64,
         chain_id_prefix: str = "shard",
         router: ShardRouter | None = None,
+        storage_dir: str | None = None,
+        snapshot_interval: int = 0,
+        checkpoint_every_rounds: int = 0,
     ) -> None:
         if n_shards < 1:
             raise ShardError("need at least one shard")
         self.router = router or ShardRouter(n_shards)
         if self.router.n_shards != n_shards:
             raise ShardError("router shard count does not match")
+        self.storage_dir = storage_dir
+        self.checkpoint_every_rounds = checkpoint_every_rounds
+        shard_storages: list[Any] = [None] * n_shards
+        beacon_storage = None
+        if storage_dir is not None:
+            import os
+
+            from ..persist.durable import DurableStorage
+
+            beacon_storage = DurableStorage(
+                os.path.join(storage_dir, "beacon")
+            )
+            layout = beacon_storage.get_meta(self._LAYOUT_META_KEY)
+            if layout is None:
+                beacon_storage.put_meta(self._LAYOUT_META_KEY,
+                                        {"n_shards": n_shards})
+            elif layout.get("n_shards") != n_shards:
+                stored = layout.get("n_shards")
+                beacon_storage.close()
+                raise ShardError(
+                    f"store directory was laid out for "
+                    f"{stored} shards, not {n_shards}"
+                )
+            shard_storages = [
+                DurableStorage(os.path.join(storage_dir, f"shard-{i}"))
+                for i in range(n_shards)
+            ]
+        self._beacon_storage = beacon_storage
         self.shards = [
             Shard(
                 i,
@@ -134,11 +209,15 @@ class ShardedChain:
                     reorg_journal_depth=reorg_journal_depth,
                 ),
                 anchor_batch_size=anchor_batch_size,
+                storage=shard_storages[i],
+                snapshot_interval=snapshot_interval,
             )
             for i in range(n_shards)
         ]
         self.beacon = BeaconChain(
-            ChainParams(chain_id=f"{chain_id_prefix}-beacon")
+            ChainParams(chain_id=f"{chain_id_prefix}-beacon"),
+            store=beacon_storage.blocks if beacon_storage else None,
+            snapshot_store=beacon_storage.state if beacon_storage else None,
         )
         # (shard_id, subject) -> owning transfer id.  Guards cross-shard
         # atomicity: while a subject is mid-handoff, conflicting writes
@@ -153,6 +232,57 @@ class ShardedChain:
         self._pending_ingest_s = [0.0] * n_shards
         self.rounds_sealed = 0
         self._coordinators: list[Any] = []
+        if beacon_storage is not None:
+            beacon_state = beacon_storage.get_meta(self._BEACON_META_KEY)
+            if beacon_state is not None:
+                self.beacon.restore_state(beacon_state)
+            facade = beacon_storage.get_meta(self._FACADE_META_KEY)
+            if facade is not None:
+                self.rounds_sealed = int(facade["rounds_sealed"])
+                self._anchored_height = [int(h)
+                                         for h in facade["anchored_height"]]
+                # Presumed-abort: locks checkpointed mid-2PC are NOT
+                # restored.  Their owning coordinator (and its timeout
+                # machinery) died with the old process, so restoring them
+                # would wedge the subjects forever; since handoff records
+                # only materialize on full commit, dropping the locks
+                # safely aborts the in-flight transfer.  (Durable transfer
+                # state machines are the ROADMAP's 2PC-recovery item.)
+                self._locks = {}
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Checkpoint every shard, the beacon, and the facade state so a
+        reopened :class:`ShardedChain` on the same ``storage_dir`` resumes
+        exactly here.  No-op for in-memory deployments."""
+        if self._beacon_storage is None:
+            return
+        for shard in self.shards:
+            shard.checkpoint()
+        self._beacon_storage.put_meta(self._BEACON_META_KEY,
+                                      self.beacon.dump_state())
+        self._beacon_storage.put_meta(
+            self._FACADE_META_KEY,
+            {
+                "rounds_sealed": self.rounds_sealed,
+                "anchored_height": list(self._anchored_height),
+                "locks": [[sid, subject, xid]
+                          for (sid, subject), xid in self._locks.items()],
+            },
+        )
+        self.beacon.chain.checkpoint()
+        self._beacon_storage.sync()
+
+    def close(self) -> None:
+        """Checkpoint and release every store (reopenable afterwards)."""
+        if self._beacon_storage is None:
+            return
+        self.checkpoint()
+        for shard in self.shards:
+            shard.storage.close()
+        self._beacon_storage.close()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -368,6 +498,9 @@ class ShardedChain:
         self.rounds_sealed += 1
         for coordinator in self._coordinators:
             coordinator.on_round_sealed(report)
+        if (self.checkpoint_every_rounds > 0
+                and self.rounds_sealed % self.checkpoint_every_rounds == 0):
+            self.checkpoint()
         return report
 
     def seal_until_drained(self, max_rounds: int = 10_000) -> list[RoundReport]:

@@ -117,6 +117,11 @@ class ContentAddressedStore:
                 raise ObjectNotFound(
                     f"manifest {cid} references a collected chunk"
                 )
+            # Latent-bug fix: the manifest path used to skip the per-chunk
+            # integrity check the raw path performs, silently returning
+            # corrupted bytes for multi-chunk content.
+            if hash_bytes(chunk, _CHUNK_DOMAIN) != digest:
+                raise StorageError(f"stored chunk corrupted under {cid}")
             parts.append(chunk)
         return b"".join(parts)
 

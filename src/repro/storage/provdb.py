@@ -9,6 +9,14 @@ Deliberately implemented as explicit inverted indexes over an append-only
 record list — the structures a real deployment would get from its RDBMS,
 made visible so the scan-vs-index ablation (EVAL-QUERY) measures something
 honest.
+
+Storage split (ISSUE 3): the record list itself now lives behind a
+pluggable :class:`~repro.persist.stores.RecordStore` — in-memory by
+default, or the durable segment-log backend whose sqlite index also maps
+record_id → log location.  The inverted indexes stay in memory either way
+(positions are cheap); opening a database on a non-empty durable store
+rebuilds them with one pass over the log, which is a load, not a replay —
+no hashing, no chain execution.
 """
 
 from __future__ import annotations
@@ -18,19 +26,48 @@ from collections import defaultdict
 from typing import Any, Callable, Iterator, Mapping
 
 from ..errors import QueryError, UnknownEntity
+from ..persist.stores import MemoryRecordStore, RecordStore
 
 
 class ProvenanceDatabase:
     """Append-only record store with inverted indexes."""
 
-    def __init__(self) -> None:
-        self._records: list[dict] = []
+    def __init__(self, store: RecordStore | None = None) -> None:
+        self._store: RecordStore = store if store is not None \
+            else MemoryRecordStore()
         self._by_id: dict[str, int] = {}
         self._by_subject: defaultdict[str, list[int]] = defaultdict(list)
         self._by_actor: defaultdict[str, list[int]] = defaultdict(list)
         self._by_operation: defaultdict[str, list[int]] = defaultdict(list)
         # (timestamp, position) pairs kept sorted for range queries.
         self._by_time: list[tuple[int, int]] = []
+        if len(self._store):
+            self._rebuild_indexes()
+
+    @property
+    def store(self) -> RecordStore:
+        return self._store
+
+    def _rebuild_indexes(self) -> None:
+        """One pass over a reopened store to repopulate the inverted
+        indexes (positions only; record bodies stay on disk)."""
+        for position, stored in self._store.iter_items():
+            self._index_record(position, stored)
+
+    def _index_record(self, position: int, stored: Mapping[str, Any]) -> None:
+        self._by_id[str(stored["record_id"])] = position
+        subject = stored.get("subject")
+        if subject:
+            self._by_subject[str(subject)].append(position)
+        actor = stored.get("actor")
+        if actor:
+            self._by_actor[str(actor)].append(position)
+        operation = stored.get("operation")
+        if operation:
+            self._by_operation[str(operation)].append(position)
+        timestamp = stored.get("timestamp")
+        if timestamp is not None:
+            insort(self._by_time, (int(timestamp), position))
 
     # ------------------------------------------------------------------
     # Ingest
@@ -47,22 +84,9 @@ class ProvenanceDatabase:
             raise QueryError("record needs a record_id")
         if record_id in self._by_id:
             raise QueryError(f"duplicate record_id {record_id!r}")
-        position = len(self._records)
         stored = dict(record)
-        self._records.append(stored)
-        self._by_id[str(record_id)] = position
-        subject = stored.get("subject")
-        if subject:
-            self._by_subject[str(subject)].append(position)
-        actor = stored.get("actor")
-        if actor:
-            self._by_actor[str(actor)].append(position)
-        operation = stored.get("operation")
-        if operation:
-            self._by_operation[str(operation)].append(position)
-        timestamp = stored.get("timestamp")
-        if timestamp is not None:
-            insort(self._by_time, (int(timestamp), position))
+        position = self._store.append(stored)
+        self._index_record(position, stored)
         return position
 
     def insert_many(self, records) -> int:
@@ -76,38 +100,42 @@ class ProvenanceDatabase:
     # Point & indexed lookups
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._store)
 
     def get(self, record_id: str) -> dict:
         position = self._by_id.get(record_id)
         if position is None:
             raise UnknownEntity(f"no record {record_id!r}")
-        return dict(self._records[position])
+        return self._store.get(position)
 
     def contains(self, record_id: str) -> bool:
         return record_id in self._by_id
 
     def by_subject(self, subject: str) -> list[dict]:
-        return [dict(self._records[i]) for i in self._by_subject.get(subject, [])]
+        return [self._store.get(i)
+                for i in self._by_subject.get(subject, [])]
 
     def by_actor(self, actor: str) -> list[dict]:
-        return [dict(self._records[i]) for i in self._by_actor.get(actor, [])]
+        return [self._store.get(i) for i in self._by_actor.get(actor, [])]
 
     def by_operation(self, operation: str) -> list[dict]:
-        return [dict(self._records[i])
+        return [self._store.get(i)
                 for i in self._by_operation.get(operation, [])]
 
     def by_time_range(self, start: int, end: int) -> list[dict]:
         """Records with ``start <= timestamp < end`` (index-assisted)."""
         lo = bisect_left(self._by_time, (start, -1))
-        hi = bisect_right(self._by_time, (end - 1, len(self._records)))
-        return [dict(self._records[pos]) for _, pos in self._by_time[lo:hi]]
+        hi = bisect_right(self._by_time, (end - 1, len(self._store)))
+        return [self._store.get(pos) for _, pos in self._by_time[lo:hi]]
 
     # ------------------------------------------------------------------
     # Full scans (the baseline the index ablation compares against)
     # ------------------------------------------------------------------
     def scan(self, predicate: Callable[[dict], bool]) -> list[dict]:
-        return [dict(r) for r in self._records if predicate(r)]
+        # Raw iteration, copying only the matches — the scan baseline
+        # must not pay a per-record copy the index paths don't.
+        return [dict(r) for r in self._store.iter_records_raw()
+                if predicate(r)]
 
     def scan_subject(self, subject: str) -> list[dict]:
         """Unindexed equivalent of :meth:`by_subject`."""
@@ -117,18 +145,20 @@ class ProvenanceDatabase:
     # Iteration & maintenance
     # ------------------------------------------------------------------
     def records(self) -> Iterator[dict]:
-        for record in self._records:
-            yield dict(record)
+        yield from self._store.iter_records()
 
     def annotate(self, record_id: str, **fields: Any) -> None:
-        """Attach non-indexed metadata (e.g. anchor references) in place."""
+        """Attach non-indexed metadata (e.g. anchor references)."""
         position = self._by_id.get(record_id)
         if position is None:
             raise UnknownEntity(f"no record {record_id!r}")
-        self._records[position].update(fields)
+        record = self._store.get(position)
+        record.update(fields)
+        self._store.replace(position, record)
 
     @property
     def approximate_size_bytes(self) -> int:
         from ..serialization import canonical_encode
 
-        return sum(len(canonical_encode(r)) for r in self._records)
+        return sum(len(canonical_encode(r))
+                   for r in self._store.iter_records_raw())

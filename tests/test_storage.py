@@ -68,6 +68,64 @@ class TestCAS:
         assert cas.get(cid) == blob
         assert cas.verify(cid, blob)
 
+    # -- empty / boundary-size regression suite (ISSUE 3 satellite) ----
+    def test_empty_blob_full_lifecycle(self):
+        """``put(b"")`` must behave like any other blob: retrievable,
+        verifiable, pinnable, and GC-safe — the falsy payload must never
+        be confused with "missing"."""
+        cas = ContentAddressedStore(chunk_size=8)
+        cid = cas.put(b"")
+        assert cid.kind == "raw"
+        assert cas.has(cid)
+        assert cas.get(cid) == b""
+        assert cas.verify(cid, b"")
+        assert not cas.verify(cid, b"\x00")
+        # Pinned by default: survives garbage collection.
+        cas.collect_garbage()
+        assert cas.get(cid) == b""
+        # Dedup works for the empty blob too.
+        again = cas.put(b"")
+        assert again.digest == cid.digest
+        assert cas.dedup_hits == 1
+        # Unpinned, it is collected like anything else.
+        cas.unpin(cid)
+        assert cas.collect_garbage() == 1
+        assert not cas.has(cid)
+
+    @pytest.mark.parametrize("size", [0, 1, 7, 8, 9, 15, 16, 17])
+    def test_boundary_sizes_roundtrip(self, size):
+        """Empty, 1-byte, and every chunk-boundary neighbour round-trip
+        (chunk_size=8: raw at <=8, manifest above)."""
+        cas = ContentAddressedStore(chunk_size=8)
+        blob = bytes(range(size))
+        cid = cas.put(blob)
+        assert cid.kind == ("raw" if size <= 8 else "manifest")
+        assert cas.get(cid) == blob
+        assert cas.verify(cid, blob)
+        assert not cas.verify(cid, blob + b"!")
+        cas.collect_garbage()
+        assert cas.get(cid) == blob
+
+    def test_corrupted_manifest_chunk_detected(self):
+        """Latent-bug regression: multi-chunk ``get`` must integrity-check
+        every chunk the way the single-chunk path always did, instead of
+        silently returning corrupted bytes."""
+        from repro.errors import StorageError
+
+        cas = ContentAddressedStore(chunk_size=4)
+        blob = b"0123456789abcdef"
+        cid = cas.put(blob)
+        assert cid.kind == "manifest"
+        victim = cas._manifests[cid.digest][1]
+        cas._blobs[victim] = b"EVIL"
+        with pytest.raises(StorageError):
+            cas.get(cid)
+        # The raw path keeps raising as before.
+        raw = cas.put(b"tiny")
+        cas._blobs[raw.digest] = b"BAD!"
+        with pytest.raises(StorageError):
+            cas.get(raw)
+
 
 class TestCloudStore:
     def test_create_read_update_versions(self, clock):
