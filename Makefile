@@ -4,7 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-persist bench-smoke bench-hotpath bench-shard bench-persist check
+.PHONY: test test-persist bench-smoke bench-hotpath bench-shard \
+        bench-persist bench-ingest bench-all check
 
 # Tier-1 verification: the full test suite.
 test:
@@ -34,9 +35,20 @@ bench-shard:
 bench-persist:
 	$(PYTHON) benchmarks/bench_persist.py
 
+# Full ingestion benchmark; writes BENCH_ingest.json and asserts the
+# acceptance floors (pipelined sustained ingest >= 2x synchronous,
+# record group-commit >= 2x per-append).
+bench-ingest:
+	$(PYTHON) benchmarks/bench_ingest.py
+
+# Every BENCH_*.json producer at full size, floors asserted — a perf
+# regression anywhere fails this target.
+bench-all: bench-hotpath bench-shard bench-persist bench-ingest
+
 # CI-style verification in one command: tier-1 tests plus a smoke pass
 # of each perf benchmark (same code paths, small sizes, no floors).
 check: test
 	$(PYTHON) benchmarks/bench_perf_hotpath.py --smoke
 	$(PYTHON) benchmarks/bench_shard_scaling.py --smoke
 	$(PYTHON) benchmarks/bench_persist.py --smoke
+	$(PYTHON) benchmarks/bench_ingest.py --smoke

@@ -49,7 +49,8 @@ def populate(sharded: ShardedChain) -> None:
                     timestamp=1_700_000_000 + i).seal()
         for i in range(60)
     ]
-    sharded.submit_many(txs)
+    report = sharded.submit_many(txs)
+    assert not report.rejected and not report.deferred
     sharded.flush_anchors()
     sharded.seal_until_drained()
 

@@ -16,12 +16,18 @@ of one sharded deployment:
 4. an auditor holding nothing but beacon headers re-verifies one
    handoff record offline via a packaged federated proof;
 5. a second handoff times out (the counterparty shard stalls) and is
-   aborted-and-unlocked — no phantom custody record survives.
+   aborted-and-unlocked — no phantom custody record survives;
+6. a burst of scan events overruns a deliberately tiny ingest queue:
+   the overflow comes back as structured retry-after backpressure (per
+   shard: queued / deferred / rejected counters), is retried on
+   schedule, and every event still commits — nothing is dropped.
 
 Run:  python examples/sharded_supply_chain.py
 """
 
+from repro.chain import Transaction, TxKind
 from repro.chain.lightclient import LightClient
+from repro.ingest import IngestPipeline
 from repro.sharding import (
     CrossShardCoordinator,
     ShardedChain,
@@ -112,6 +118,36 @@ def main() -> None:
           f"({second.outcome.extra['reason']}); subjects unlocked, no "
           f"phantom records: "
           f"{not any(s.database.contains(f'{second.xid}:in') for s in sharded.shards)}")
+
+    # -- 6. A scan burst meets backpressure ----------------------------
+    pipeline = IngestPipeline(sharded, queue_capacity=24,
+                              high_watermark=0.75)
+    burst = [
+        Transaction(
+            sender=f"{maker}/scanner-{i % 3}", kind=TxKind.DATA,
+            payload={"subject": f"{maker}/lot-{8000 + i}",
+                     "key": f"scan-{i}", "value": {"gate": i % 4}},
+            timestamp=100 + i,
+        ).seal()
+        for i in range(60)
+    ]
+    report = pipeline.submit_many(burst)
+    print(f"scan burst of {len(burst)}: queued={report.queued_total}, "
+          f"rejected={report.rejected_total} "
+          f"(per shard: {report.backpressure_summary()})")
+    pending = [tx for tx, _ in report.rejected]
+    if pending:
+        _, signal = report.rejected[0]
+        print(f"  retry-after signal: depth {signal.depth}/"
+              f"{signal.capacity}, ~{signal.retry_after_rounds} round(s)")
+    while pending or pipeline.backlog or sharded.mempool_backlog:
+        pipeline.seal_round()
+        pending = [tx for tx, _ in pipeline.submit_many(pending).rejected]
+    stats = pipeline.stats
+    print(f"burst absorbed: admitted={stats.admitted}, "
+          f"re-submitted rejections={stats.rejected}, dropped=0; "
+          f"all {len(burst)} scans committed: "
+          f"{all(sharded.shard_for_subject(tx.payload['subject']).chain.find_transaction(tx.tx_id) is not None for tx in burst)}")
 
     sharded.verify_all(deep=True)
     print("all shard chains and the beacon verify intact")

@@ -25,7 +25,7 @@ __version__ = "1.0.0"
 
 from .clock import SimClock, SteppingClock
 from .ids import IdFactory
-from .errors import ReproError
+from .errors import QueueFull, ReproError
 
 from .chain import (
     Block,
@@ -96,6 +96,7 @@ from .sharding import (
     ShardedQueryEngine,
     ShardRouter,
 )
+from .ingest import IngestPipeline, IngestStats, QueueStats
 
 __all__ = [
     "__version__",
@@ -166,4 +167,8 @@ __all__ = [
     "MemoryBlockStore",
     "DurableStorage",
     "SegmentLog",
+    "IngestPipeline",
+    "IngestStats",
+    "QueueStats",
+    "QueueFull",
 ]

@@ -35,6 +35,8 @@ flips off to measure the recompute-every-read baseline; leave it on.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import Enum
 from types import MappingProxyType
@@ -59,6 +61,17 @@ HASH_CACHING_ENABLED = True
 _HASH_FIELDS = frozenset(
     {"sender", "kind", "payload", "nonce", "timestamp", "fee"}
 )
+
+# LRU of signature checks that already passed, keyed by
+# (tx_id, signer key bytes, tag).  A sealed transaction is re-validated
+# at queue admission, mempool admission, and block seal; the first check
+# pays the HMAC, the rest pay one dict probe.  Only sealed transactions
+# are cached — their tx_id provably pins the signed content.  Guarded by
+# a lock: the parallel sealing round validates from worker threads.
+_VERIFIED_SIGNATURES: OrderedDict[tuple[str, bytes, bytes], bool] = \
+    OrderedDict()
+_VERIFIED_SIGNATURES_MAX = 8192
+_VERIFIED_SIGNATURES_LOCK = threading.Lock()
 
 
 class TxKind(str, Enum):
@@ -210,13 +223,33 @@ class Transaction:
         return self
 
     def verify_signature(self) -> bool:
-        """True iff the transaction carries a valid signature."""
+        """True iff the transaction carries a valid signature.
+
+        Routes through :func:`~repro.crypto.signatures.verify_encoded`
+        with the seal-time pinned encoding (never a re-encode), and
+        memoizes passing checks per ``(tx_id, signer, tag)`` so
+        re-validation along the ingest path costs one dict probe.
+        """
         if self.signature is None or self.signer is None:
             return False
         if self.signer.address != self.sender:
             return False
-        return verify_encoded(self._encoded_body(), self.signature,
-                              self.signer)
+        sealed = self.is_sealed and HASH_CACHING_ENABLED
+        if sealed:
+            key = (self.tx_id, self.signer.key_bytes, self.signature)
+            with _VERIFIED_SIGNATURES_LOCK:
+                if _VERIFIED_SIGNATURES.get(key):
+                    _VERIFIED_SIGNATURES.move_to_end(key)
+                    return True
+        ok = verify_encoded(self._encoded_body(), self.signature,
+                            self.signer)
+        if ok and sealed:
+            with _VERIFIED_SIGNATURES_LOCK:
+                _VERIFIED_SIGNATURES[key] = True
+                _VERIFIED_SIGNATURES.move_to_end(key)
+                while len(_VERIFIED_SIGNATURES) > _VERIFIED_SIGNATURES_MAX:
+                    _VERIFIED_SIGNATURES.popitem(last=False)
+        return ok
 
     def validate(self, require_signature: bool = False) -> None:
         """Structural validation; raises :class:`InvalidTransaction`."""

@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import hashlib
 import hmac
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterable
 
 from ..errors import CryptoError, InvalidSignature
 from ..serialization import canonical_encode
@@ -120,16 +122,76 @@ def verify(message: Any, tag: bytes, public: PublicKey) -> bool:
     return verify_encoded(canonical_encode(message), tag, public)
 
 
+# Bounded memo of verification outcomes keyed by
+# (message digest, public key, tag).  Ingest re-verifies the same sealed
+# transaction at admission, seal, and audit time; the digest pins the
+# exact message bytes, so a hit is sound — the HMAC would recompute the
+# same verdict.  Only successful verifications are cached: failures are
+# cold-path and should stay loud and re-checkable.  Guarded by a lock:
+# the parallel sealing round verifies from worker threads.
+_VERIFY_CACHE: OrderedDict[tuple[bytes, bytes, bytes], bool] = OrderedDict()
+_VERIFY_CACHE_MAX = 8192
+_VERIFY_CACHE_LOCK = threading.Lock()
+
+
+def _verify_cache_hit(key: tuple[bytes, bytes, bytes]) -> bool:
+    with _VERIFY_CACHE_LOCK:
+        if _VERIFY_CACHE.get(key):
+            _VERIFY_CACHE.move_to_end(key)
+            return True
+    return False
+
+
+def _verify_cache_put(key: tuple[bytes, bytes, bytes]) -> None:
+    with _VERIFY_CACHE_LOCK:
+        _VERIFY_CACHE[key] = True
+        _VERIFY_CACHE.move_to_end(key)
+        while len(_VERIFY_CACHE) > _VERIFY_CACHE_MAX:
+            _VERIFY_CACHE.popitem(last=False)
+
+
+def clear_verify_cache() -> None:
+    """Drop the verification memo (tests and benchmarks)."""
+    with _VERIFY_CACHE_LOCK:
+        _VERIFY_CACHE.clear()
+
+
 def verify_encoded(encoded: bytes, tag: bytes, public: PublicKey) -> bool:
-    """Verify a tag against already-canonically-encoded bytes."""
+    """Verify a tag against already-canonically-encoded bytes.
+
+    Successful verifications are memoized on the message digest, so
+    re-validating a sealed transaction later in the pipeline is one
+    cache probe instead of an HMAC recompute.
+    """
     sk_bytes = _KEY_REGISTRY.get(public.key_bytes)
     if sk_bytes is None:
         raise CryptoError(
             "unknown public key; keypair was not generated via KeyPair.generate"
         )
     digest = hash_bytes(encoded, DOMAIN_SIG)
+    key = (digest, public.key_bytes, tag)
+    if _verify_cache_hit(key):
+        return True
     expected = hmac.new(sk_bytes, digest, hashlib.sha256).digest()
-    return hmac.compare_digest(expected, tag)
+    ok = hmac.compare_digest(expected, tag)
+    if ok:
+        _verify_cache_put(key)
+    return ok
+
+
+def verify_encoded_batch(
+    items: Iterable[tuple[bytes, bytes, PublicKey]],
+) -> list[bool]:
+    """Verify ``(encoded, tag, public)`` triples in one pass.
+
+    The batch surface the ingest pipeline's admission step uses: one
+    call per admitted batch instead of one per transaction, with every
+    item still getting an individual verdict — one bad signature never
+    poisons its batch.  Each item goes through :func:`verify_encoded`
+    so the cache and registry rules live in exactly one place.
+    """
+    return [verify_encoded(encoded, tag, public)
+            for encoded, tag, public in items]
 
 
 def verify_or_raise(message: Any, tag: bytes, public: PublicKey) -> None:

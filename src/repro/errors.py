@@ -44,6 +44,46 @@ class SealedMutation(ChainError):
     """A sealed (frozen) transaction or header was mutated."""
 
 
+class QueueFull(InvalidTransaction):
+    """A bounded admission queue (ingest queue or mempool) is at capacity.
+
+    This is a *backpressure signal*, not a verdict on the transaction:
+    the submission is well-formed but cannot be absorbed right now.  The
+    structured fields tell the capture source exactly how loaded the
+    queue is and when a retry is worth attempting, replacing the seed's
+    opaque ``mempool full`` drop.
+
+    ``retry_after_rounds`` counts sealing rounds expected before the
+    queue drains below its high watermark; ``retry_after_s`` converts
+    that to wall time using the ingest layer's recent round pace (0.0
+    when no round has been observed yet).
+    """
+
+    def __init__(self, message: str, *, shard_id: int | None = None,
+                 depth: int = 0, capacity: int = 0,
+                 high_watermark: int = 0,
+                 retry_after_rounds: int = 1,
+                 retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.depth = depth
+        self.capacity = capacity
+        self.high_watermark = high_watermark
+        self.retry_after_rounds = retry_after_rounds
+        self.retry_after_s = retry_after_s
+
+    def as_dict(self) -> dict:
+        """Structured form for reports, logs, and wire responses."""
+        return {
+            "shard_id": self.shard_id,
+            "depth": self.depth,
+            "capacity": self.capacity,
+            "high_watermark": self.high_watermark,
+            "retry_after_rounds": self.retry_after_rounds,
+            "retry_after_s": self.retry_after_s,
+        }
+
+
 class ForkError(ChainError):
     """A fork-choice or reorganization problem."""
 

@@ -158,6 +158,57 @@ class DurableBlockStore(BlockStore):
         self._height = block.height
         self._cache_put(block)
 
+    def append_blocks(
+        self,
+        pairs: Sequence[tuple[Block, Sequence[TransactionReceipt]]],
+    ) -> None:
+        """Group-commit several consecutive blocks.
+
+        All frames go down in one buffered log write finished by one
+        fsync (the group's durability point), then every index row —
+        heights, tx locations, receipts — lands in **one** sqlite
+        transaction via ``executemany``.  A crash anywhere inside the
+        group leaves either no index rows (log ahead of index: recovery
+        truncates the orphaned frames) or all of them (frames fsynced
+        before the index commit), so the group is atomic on disk.
+        """
+        if not pairs:
+            return
+        for i, (block, _) in enumerate(pairs):
+            if block.height != self._height + 1 + i:
+                raise StorageError(
+                    f"store expects height {self._height + 1 + i}, "
+                    f"got {block.height}"
+                )
+        locs = self._log.append_many(
+            [encode_block(block) for block, _ in pairs]
+        )
+        with self._conn:
+            self._conn.executemany(
+                "INSERT INTO blocks(height, segment, offset, length, "
+                "block_hash) VALUES (?,?,?,?,?)",
+                [(block.height, loc.segment, loc.offset, loc.length,
+                  block.block_hash)
+                 for (block, _), loc in zip(pairs, locs)],
+            )
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO txs(tx_id, height, pos) "
+                "VALUES (?,?,?)",
+                [(tx.tx_id, block.height, pos)
+                 for block, _ in pairs
+                 for pos, tx in enumerate(block.transactions)],
+            )
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO receipts(tx_id, height, body) "
+                "VALUES (?,?,?)",
+                [(r.tx_id, block.height, encode_receipt(r))
+                 for block, receipts in pairs
+                 for r in receipts],
+            )
+        for block, _ in pairs:
+            self._height = block.height
+            self._cache_put(block)
+
     def truncate_above(self, height: int) -> None:
         if height >= self._height:
             return
@@ -261,6 +312,31 @@ class DurableRecordStore(RecordStore):
         self._count = position + 1
         self._cache_put(position, dict(record))
         return position
+
+    def append_many(self, records: Sequence[dict]) -> list[int]:
+        """Group-commit a batch of records: one buffered log write + one
+        fsync + one index transaction, versus one of each *per record*
+        on the :meth:`append` path — the dominant saving on the durable
+        ingest hot path (capture streams arrive thousands at a time)."""
+        if not records:
+            return []
+        start = self._count
+        locs = self._log.append_many(
+            [encode_record(record) for record in records]
+        )
+        with self._conn:
+            self._conn.executemany(
+                "INSERT INTO records(position, record_id, segment, offset, "
+                "length) VALUES (?,?,?,?,?)",
+                [(start + i, str(record.get("record_id") or (start + i)),
+                  loc.segment, loc.offset, loc.length)
+                 for i, (record, loc) in enumerate(zip(records, locs))],
+            )
+        positions = list(range(start, start + len(records)))
+        self._count = start + len(records)
+        for position, record in zip(positions, records):
+            self._cache_put(position, dict(record))
+        return positions
 
     def replace(self, position: int, record: dict) -> None:
         """Annotation support: append the updated copy, repoint the index
@@ -401,8 +477,13 @@ class DurableStorage(MetaStore):
                  block_cache_size: int = 256) -> None:
         self.directory = os.fspath(directory)
         os.makedirs(self.directory, exist_ok=True)
-        self._conn = sqlite3.connect(os.path.join(self.directory,
-                                                  "index.db"))
+        # check_same_thread=False: the parallel sealing round drives each
+        # shard's storage from a worker thread (one worker per shard per
+        # round, never two threads on one connection concurrently).
+        self._conn = sqlite3.connect(
+            os.path.join(self.directory, "index.db"),
+            check_same_thread=False,
+        )
         self._conn.executescript(_SCHEMA)
         # WAL keeps index commits append-only (no per-commit journal
         # rewrite) — an order of magnitude cheaper for the one-row

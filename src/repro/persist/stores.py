@@ -45,6 +45,20 @@ class BlockStore(ABC):
         """Commit ``block`` (height must be exactly head + 1) and its
         receipts atomically."""
 
+    def append_blocks(
+        self,
+        pairs: Sequence[tuple[Block, Sequence[TransactionReceipt]]],
+    ) -> None:
+        """Commit several consecutive blocks as **one** group.
+
+        Backends that can group-commit (one buffered log write, one
+        fsync, one index transaction) override this; the default is a
+        loop of :meth:`append_block`, which preserves per-append
+        semantics on backends with nothing to group.
+        """
+        for block, receipts in pairs:
+            self.append_block(block, receipts)
+
     @abstractmethod
     def block_at(self, height: int) -> Block:
         """The block at ``height``; raises :class:`InvalidBlock` when absent."""
@@ -95,6 +109,14 @@ class RecordStore(ABC):
     @abstractmethod
     def append(self, record: dict) -> int:
         """Store a record; returns its position."""
+
+    def append_many(self, records: Sequence[dict]) -> list[int]:
+        """Store several records; returns their positions.
+
+        Group-commit point for durable backends (one log write + fsync
+        + one index transaction); the default loops :meth:`append`.
+        """
+        return [self.append(record) for record in records]
 
     @abstractmethod
     def get(self, position: int) -> dict:

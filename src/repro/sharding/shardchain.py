@@ -19,12 +19,16 @@ deployment, run on separate machines.  The facade:
 
 from __future__ import annotations
 
+import math
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor, wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from ..chain import Blockchain, ChainParams, Mempool, Transaction
-from ..errors import ShardError
+from ..chain.block import Block
+from ..errors import QueueFull, ShardError
 from ..provenance.anchor import AnchorReceipt, AnchorService
 from ..provenance.query import ProvenanceQueryEngine, QueryCache
 from ..storage.provdb import ProvenanceDatabase
@@ -137,15 +141,78 @@ class RoundReport:
 
 @dataclass
 class SubmitReport:
-    """Batch-submit outcome: accepted counts and lock-deferred leftovers."""
+    """Batch-submit outcome with per-shard backpressure accounting.
+
+    Every submitted transaction lands in exactly one bucket:
+
+    * ``accepted[shard]`` — admitted into that shard's mempool;
+    * ``queued[shard]`` — parked in an ingest-pipeline queue (admission
+      will happen at the next pump; only the pipeline fills this);
+    * ``deferred`` — bounced off an active cross-shard lock, retry after
+      the transfer settles (``deferred_by_shard`` counts them per home
+      shard);
+    * ``rejected`` — bounced off a *full* queue or mempool, each paired
+      with its structured :class:`~repro.errors.QueueFull` signal
+      carrying depth, watermark, and retry-after;
+    * ``duplicates`` — already known.
+
+    Nothing is ever silently dropped: the four buckets plus duplicates
+    partition the input.
+    """
 
     accepted: dict[int, int] = field(default_factory=dict)
     deferred: list[Transaction] = field(default_factory=list)
     duplicates: int = 0
+    queued: dict[int, int] = field(default_factory=dict)
+    deferred_by_shard: dict[int, int] = field(default_factory=dict)
+    rejected: list[tuple[Transaction, QueueFull]] = field(
+        default_factory=list
+    )
 
     @property
     def accepted_total(self) -> int:
         return sum(self.accepted.values())
+
+    @property
+    def queued_total(self) -> int:
+        return sum(self.queued.values())
+
+    @property
+    def deferred_total(self) -> int:
+        return len(self.deferred)
+
+    @property
+    def rejected_total(self) -> int:
+        return len(self.rejected)
+
+    @property
+    def rejected_by_shard(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for _, signal in self.rejected:
+            sid = -1 if signal.shard_id is None else signal.shard_id
+            counts[sid] = counts.get(sid, 0) + 1
+        return counts
+
+    def min_retry_after_s(self) -> float:
+        """Soonest worthwhile retry across every rejection (0.0 if none)."""
+        return min((s.retry_after_s for _, s in self.rejected),
+                   default=0.0)
+
+    def backpressure_summary(self) -> dict[int, dict[str, int]]:
+        """Per-shard ``{accepted, queued, deferred, rejected}`` counters
+        — the observable a capture source throttles on."""
+        shards = (set(self.accepted) | set(self.queued)
+                  | set(self.deferred_by_shard)
+                  | set(self.rejected_by_shard))
+        return {
+            sid: {
+                "accepted": self.accepted.get(sid, 0),
+                "queued": self.queued.get(sid, 0),
+                "deferred": self.deferred_by_shard.get(sid, 0),
+                "rejected": self.rejected_by_shard.get(sid, 0),
+            }
+            for sid in sorted(shards)
+        }
 
 
 class ShardedChain:
@@ -166,9 +233,12 @@ class ShardedChain:
         storage_dir: str | None = None,
         snapshot_interval: int = 0,
         checkpoint_every_rounds: int = 0,
+        seal_workers: int | None = None,
     ) -> None:
         if n_shards < 1:
             raise ShardError("need at least one shard")
+        if seal_workers is not None and seal_workers < 1:
+            raise ShardError("seal_workers must be >= 1")
         self.router = router or ShardRouter(n_shards)
         if self.router.n_shards != n_shards:
             raise ShardError("router shard count does not match")
@@ -177,8 +247,6 @@ class ShardedChain:
         shard_storages: list[Any] = [None] * n_shards
         beacon_storage = None
         if storage_dir is not None:
-            import os
-
             from ..persist.durable import DurableStorage
 
             beacon_storage = DurableStorage(
@@ -232,6 +300,19 @@ class ShardedChain:
         self._pending_ingest_s = [0.0] * n_shards
         self.rounds_sealed = 0
         self._coordinators: list[Any] = []
+        # Thread-pool sealing: None = auto (parallel iff the deployment
+        # is durable, where per-shard fsync/sqlite I/O releases the GIL
+        # and overlaps even on one core; a GIL-bound in-memory deployment
+        # gains nothing from threads).  Sized to shards, not cores — the
+        # waits being overlapped are I/O, not compute.  An explicit int
+        # forces that many workers (1 = serial).
+        if seal_workers is None:
+            seal_workers = (min(n_shards, 8)
+                            if storage_dir is not None else 1)
+        self.seal_workers = seal_workers
+        self._seal_pool: ThreadPoolExecutor | None = None
+        # EWMA of recent round wall time; feeds retry-after estimates.
+        self._round_pace_s = 0.0
         if beacon_storage is not None:
             beacon_state = beacon_storage.get_meta(self._BEACON_META_KEY)
             if beacon_state is not None:
@@ -277,6 +358,9 @@ class ShardedChain:
 
     def close(self) -> None:
         """Checkpoint and release every store (reopenable afterwards)."""
+        if self._seal_pool is not None:
+            self._seal_pool.shutdown(wait=True)
+            self._seal_pool = None
         if self._beacon_storage is None:
             return
         self.checkpoint()
@@ -342,16 +426,29 @@ class ShardedChain:
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
+    def _add_to_mempool(self, shard_id: int, tx: Transaction) -> bool:
+        """Admit one transaction, enriching a raw mempool ``QueueFull``
+        with the shard id and retry-after estimate."""
+        try:
+            return self.shards[shard_id].mempool.add(tx)
+        except QueueFull as exc:
+            raise self.backpressure_signal(
+                shard_id, exc.depth, exc.capacity, exc.capacity,
+                source="mempool",
+            ) from None
+
     def submit(self, tx: Transaction) -> int:
         """Route one transaction to its shard's mempool; returns the
-        shard id.  Raises :class:`ShardError` on a lock conflict."""
+        shard id.  Raises :class:`ShardError` on a lock conflict and a
+        shard-tagged :class:`~repro.errors.QueueFull` (retry-after
+        included) on a full mempool."""
         shard_id = self.router.route(tx)
         if self._blocked_by_lock(shard_id, tx):
             raise ShardError(
                 f"subject {self.router.lock_key_for(tx)!r} is locked by a "
                 "cross-shard transfer; resubmit after it settles"
             )
-        self.shards[shard_id].mempool.add(tx)
+        self._add_to_mempool(shard_id, tx)
         return shard_id
 
     def submit_to(self, shard_id: int, tx: Transaction) -> None:
@@ -362,25 +459,59 @@ class ShardedChain:
                 f"shard {shard_id}: transaction conflicts with an active "
                 "cross-shard lock"
             )
-        self.shards[shard_id].mempool.add(tx)
+        self._add_to_mempool(shard_id, tx)
+
+    def backpressure_signal(self, shard_id: int, depth: int,
+                            capacity: int, high_watermark: int,
+                            source: str = "queue") -> QueueFull:
+        """Build the structured retry-after signal for one full shard
+        queue, using the facade's recent round pace to convert rounds
+        into wall time."""
+        per_round = max(1, self.shards[shard_id].chain.params.max_block_txs)
+        over = depth - high_watermark + 1
+        rounds = max(1, math.ceil(over / per_round))
+        return QueueFull(
+            f"shard {shard_id} {source} full "
+            f"({depth}/{capacity}); retry in ~{rounds} round(s)",
+            shard_id=shard_id,
+            depth=depth,
+            capacity=capacity,
+            high_watermark=high_watermark,
+            retry_after_rounds=rounds,
+            retry_after_s=rounds * self._round_pace_s,
+        )
 
     def submit_many(self, txs: Iterable[Transaction]) -> SubmitReport:
         """Batched ingest.  Lock-conflicted transactions come back in
-        ``deferred`` for the caller to retry once the transfer settles —
-        they are never silently dropped."""
+        ``deferred`` for the caller to retry once the transfer settles,
+        and a shard whose mempool fills mid-batch bounces the rest of
+        its bucket into ``rejected`` with a retry-after signal — nothing
+        is silently dropped."""
         report = SubmitReport()
         for shard_id, bucket in self.router.partition(txs).items():
             mempool = self.shards[shard_id].mempool
             accepted = 0
+            full_signal: QueueFull | None = None
             t0 = time.perf_counter()
-            for tx in bucket:
+            for i, tx in enumerate(bucket):
                 if self._blocked_by_lock(shard_id, tx):
                     report.deferred.append(tx)
+                    report.deferred_by_shard[shard_id] = \
+                        report.deferred_by_shard.get(shard_id, 0) + 1
                     continue
-                if mempool.add(tx):
-                    accepted += 1
-                else:
-                    report.duplicates += 1
+                try:
+                    if mempool.add(tx):
+                        accepted += 1
+                    else:
+                        report.duplicates += 1
+                except QueueFull as exc:
+                    full_signal = self.backpressure_signal(
+                        shard_id, exc.depth, exc.capacity, exc.capacity,
+                        source="mempool",
+                    )
+                    for bounced in bucket[i:]:
+                        report.rejected.append((bounced, full_signal))
+                    break
             self._pending_ingest_s[shard_id] += time.perf_counter() - t0
             if accepted:
                 report.accepted[shard_id] = accepted
@@ -407,6 +538,51 @@ class ShardedChain:
         shard.query.notify_write()
         return shard_id, receipt
 
+    def ingest_records(
+        self, records: Sequence[Mapping[str, Any]]
+    ) -> dict[int, list[AnchorReceipt]]:
+        """Batched record ingest: one routing pass, one group-committed
+        database insert per shard (one log write + one index transaction
+        on the durable backend), then anchor enqueueing.  Returns the
+        anchor receipts flushed per shard.  Lock conflicts, missing
+        subjects, and duplicate record ids all raise before anything is
+        stored — a batch that fails *validation* commits nothing on any
+        shard.  (A storage-layer crash mid-call can still leave the
+        shards committed before the failure point durably stored; their
+        logs recover independently, and the failed shards' records can
+        be re-ingested.)"""
+        buckets: dict[int, list[dict]] = {}
+        seen_ids: set[str] = set()
+        for record in records:
+            subject = str(record.get("subject", ""))
+            if not subject:
+                raise ShardError("record lacks a subject to route by")
+            shard_id = self.router.shard_for(namespace_of(subject))
+            owner = self._locks.get((shard_id, subject))
+            if owner is not None and record.get("xid") != owner:
+                raise ShardError(
+                    f"subject {subject!r} is locked by a cross-shard "
+                    "transfer; ingest after it settles"
+                )
+            record_id = str(record.get("record_id", ""))
+            if not record_id:
+                raise ShardError("record lacks a record_id")
+            if record_id in seen_ids \
+                    or self.shards[shard_id].database.contains(record_id):
+                raise ShardError(f"duplicate record_id {record_id!r}")
+            seen_ids.add(record_id)
+            buckets.setdefault(shard_id, []).append(dict(record))
+        receipts: dict[int, list[AnchorReceipt]] = {}
+        for shard_id, bucket in buckets.items():
+            shard = self.shards[shard_id]
+            shard.database.insert_many(bucket)
+            flushed = [r for r in (shard.anchor.enqueue(rec)
+                                   for rec in bucket) if r is not None]
+            if flushed:
+                receipts[shard_id] = flushed
+            shard.query.notify_write()
+        return receipts
+
     def flush_anchors(self) -> dict[int, AnchorReceipt]:
         """Force-flush every shard's pending anchor batch (anchor blocks
         are beacon-committed by the next :meth:`seal_round`)."""
@@ -425,28 +601,24 @@ class ShardedChain:
         after each round (the 2PC coordinator drives its phases there)."""
         self._coordinators.append(coordinator)
 
-    def seal_round(
-        self,
-        shard_ids: Sequence[int] | None = None,
-        timestamp: int | None = None,
-    ) -> RoundReport:
-        """Seal one block per loaded shard, then beacon-anchor the round.
-
-        ``shard_ids`` restricts sealing to a subset (a stalled shard in
-        the tests; a partitioned one in life).  Blocks appended outside
-        the round (anchor-service flushes) are picked up and anchored
-        too, so every shard block ends up under exactly one beacon
-        header.
-        """
-        selected = (range(len(self.shards)) if shard_ids is None
-                    else shard_ids)
-        ts = self.rounds_sealed if timestamp is None else timestamp
-        per_shard: dict[int, ShardSealStats] = {}
-        entries: list[tuple[int, int, bytes]] = []
-        for shard_id in selected:
-            shard = self.shard(shard_id)
-            t0 = time.perf_counter()
-            batch = shard.mempool.pop_batch(shard.chain.params.max_block_txs)
+    def _seal_shard_round(
+        self, shard_id: int, ts: int, blocks_per_shard: int,
+    ) -> tuple[ShardSealStats, list[tuple[int, int, bytes]], int]:
+        """One shard's whole round of work: drain up to
+        ``blocks_per_shard`` block batches from its mempool, build the
+        chained blocks, and commit them through the chain's group-commit
+        surface (one log write + one fsync + one index transaction on a
+        durable store).  Thread-safe per shard: touches only this
+        shard's stack, its slots of the per-shard arrays, and reads of
+        the lock table (which never mutates mid-round)."""
+        shard = self.shard(shard_id)
+        t0 = time.perf_counter()
+        max_txs = shard.chain.params.max_block_txs
+        new_blocks: list[Block] = []
+        txs_sealed = 0
+        prev = shard.chain.head
+        for _ in range(blocks_per_shard):
+            batch = shard.mempool.pop_batch(max_txs)
             if self._locks:
                 # A transaction admitted *before* a lock was taken must
                 # not seal mid-2PC: hold it back for a later round (the
@@ -459,36 +631,130 @@ class ShardedChain:
                 if held:
                     batch = kept
                     shard.mempool.add_many(held)
-            blocks = 0
-            if batch:
-                shard.chain.append_block(
-                    shard.chain.build_block(
-                        batch, timestamp=ts,
-                        proposer=f"shard-{shard_id}-sealer",
-                    )
-                )
-            # Commit every block the beacon has not seen yet (includes
-            # anchor-service blocks appended between rounds).
-            for height in range(self._anchored_height[shard_id] + 1,
-                                shard.chain.height + 1):
-                entries.append(
-                    (shard_id, height,
-                     shard.chain.block_at(height).block_hash)
-                )
-                blocks += 1
-            self._anchored_height[shard_id] = shard.chain.height
-            per_shard[shard_id] = ShardSealStats(
-                txs_sealed=len(batch),
-                blocks_produced=blocks,
-                duration_s=(time.perf_counter() - t0
-                            + self._pending_ingest_s[shard_id]),
-                mempool_backlog=len(shard.mempool),
+            if not batch:
+                break
+            block = Block(
+                height=prev.height + 1,
+                prev_hash=prev.block_hash,
+                transactions=batch,
+                timestamp=ts,
+                proposer=f"shard-{shard_id}-sealer",
             )
-            self._pending_ingest_s[shard_id] = 0.0
+            new_blocks.append(block)
+            txs_sealed += len(batch)
+            prev = block
+        if new_blocks:
+            try:
+                shard.chain.append_blocks(new_blocks)
+            except BaseException:
+                # The chain unwound the group (or kept only what its
+                # store committed); re-admit the popped transactions of
+                # every uncommitted block so nothing is silently lost —
+                # the batch was acknowledged only as *queued*.
+                committed_height = shard.chain.height
+                for block in new_blocks:
+                    if block.height > committed_height:
+                        shard.mempool.add_many(block.transactions)
+                raise
+        # Collect every block the beacon has not seen yet (includes
+        # anchor-service blocks appended between rounds).  The anchored
+        # watermark itself is advanced by seal_round only after the
+        # beacon commit succeeds — a round that fails in another shard
+        # must not leave this shard's blocks un-anchorable forever.
+        blocks = 0
+        entries: list[tuple[int, int, bytes]] = []
+        for height in range(self._anchored_height[shard_id] + 1,
+                            shard.chain.height + 1):
+            entries.append(
+                (shard_id, height,
+                 shard.chain.block_at(height).block_hash)
+            )
+            blocks += 1
+        stats = ShardSealStats(
+            txs_sealed=txs_sealed,
+            blocks_produced=blocks,
+            duration_s=(time.perf_counter() - t0
+                        + self._pending_ingest_s[shard_id]),
+            mempool_backlog=len(shard.mempool),
+        )
+        self._pending_ingest_s[shard_id] = 0.0
+        return stats, entries, shard.chain.height
+
+    def _get_seal_pool(self) -> ThreadPoolExecutor:
+        if self._seal_pool is None:
+            self._seal_pool = ThreadPoolExecutor(
+                max_workers=self.seal_workers,
+                thread_name_prefix="shard-seal",
+            )
+        return self._seal_pool
+
+    def seal_round(
+        self,
+        shard_ids: Sequence[int] | None = None,
+        timestamp: int | None = None,
+        parallel: bool | None = None,
+        blocks_per_shard: int = 1,
+    ) -> RoundReport:
+        """Seal up to ``blocks_per_shard`` blocks per loaded shard, then
+        beacon-anchor the round.
+
+        ``shard_ids`` restricts sealing to a subset (a stalled shard in
+        the tests; a partitioned one in life).  Blocks appended outside
+        the round (anchor-service flushes) are picked up and anchored
+        too, so every shard block ends up under exactly one beacon
+        header.
+
+        Shards seal via the facade's thread pool when ``parallel`` is
+        true (default: ``seal_workers > 1``, which auto-enables on
+        durable deployments where per-shard fsync and sqlite I/O release
+        the GIL) — wall-clock round time then approaches the slowest
+        shard rather than the sum.  Results are merged in shard order,
+        so the beacon commitment is identical either way.
+        """
+        if blocks_per_shard < 1:
+            raise ShardError("blocks_per_shard must be >= 1")
+        selected = list(range(len(self.shards)) if shard_ids is None
+                        else shard_ids)
+        ts = self.rounds_sealed if timestamp is None else timestamp
+        round_t0 = time.perf_counter()
+        use_pool = (self.seal_workers > 1 if parallel is None
+                    else parallel) and len(selected) > 1
+        per_shard: dict[int, ShardSealStats] = {}
+        entries: list[tuple[int, int, bytes]] = []
+        if use_pool:
+            futures = [
+                self._get_seal_pool().submit(
+                    self._seal_shard_round, sid, ts, blocks_per_shard
+                )
+                for sid in selected
+            ]
+            # Wait for EVERY worker before surfacing a failure: raising
+            # while siblings still run would let a retry round start a
+            # second task on a shard whose first task is mid-mutation.
+            futures_wait(futures)
+            first_error = next(
+                (f.exception() for f in futures
+                 if f.exception() is not None), None,
+            )
+            if first_error is not None:
+                raise first_error
+            results = [future.result() for future in futures]
+        else:
+            results = [self._seal_shard_round(sid, ts, blocks_per_shard)
+                       for sid in selected]
+        for shard_id, (stats, shard_entries, _) in zip(selected, results):
+            per_shard[shard_id] = stats
+            entries.extend(shard_entries)
         t0 = time.perf_counter()
         beacon_receipt = (self.beacon.anchor_round(entries, timestamp=ts)
                           if entries else None)
         beacon_s = time.perf_counter() - t0
+        # Advance the anchored watermarks only now, with the round's
+        # beacon commitment durable: a seal or beacon failure above
+        # leaves the watermarks untouched, so the next successful round
+        # re-collects (and actually anchors) the same blocks.
+        for shard_id, (_, _, new_height) in zip(selected, results):
+            self._anchored_height[shard_id] = new_height
         report = RoundReport(
             round_no=self.rounds_sealed,
             per_shard=per_shard,
@@ -496,6 +762,9 @@ class ShardedChain:
             beacon_duration_s=beacon_s,
         )
         self.rounds_sealed += 1
+        round_s = time.perf_counter() - round_t0
+        self._round_pace_s = (round_s if self._round_pace_s == 0.0
+                              else 0.8 * self._round_pace_s + 0.2 * round_s)
         for coordinator in self._coordinators:
             coordinator.on_round_sealed(report)
         if (self.checkpoint_every_rounds > 0

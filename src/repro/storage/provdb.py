@@ -90,11 +90,27 @@ class ProvenanceDatabase:
         return position
 
     def insert_many(self, records) -> int:
-        count = 0
+        """Batched insert: validate ids up front, then hand the whole
+        batch to the store's group-commit surface (one log write + one
+        index transaction on the durable backend) and index in one
+        pass.  All-or-nothing: a duplicate id anywhere rejects the batch
+        before anything is stored."""
+        stored_batch: list[dict] = []
+        seen: set[str] = set()
         for record in records:
-            self.insert(record)
-            count += 1
-        return count
+            record_id = record.get("record_id")
+            if not record_id:
+                raise QueryError("record needs a record_id")
+            if record_id in self._by_id or record_id in seen:
+                raise QueryError(f"duplicate record_id {record_id!r}")
+            seen.add(record_id)
+            stored_batch.append(dict(record))
+        if not stored_batch:
+            return 0
+        positions = self._store.append_many(stored_batch)
+        for position, stored in zip(positions, stored_batch):
+            self._index_record(position, stored)
+        return len(stored_batch)
 
     # ------------------------------------------------------------------
     # Point & indexed lookups
