@@ -4,8 +4,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-persist bench-smoke bench-hotpath bench-shard \
-        bench-persist bench-ingest bench-all check
+.PHONY: test test-persist test-sync bench-smoke bench-hotpath \
+        bench-shard bench-persist bench-ingest bench-sync bench-all check
 
 # Tier-1 verification: the full test suite.
 test:
@@ -15,6 +15,11 @@ test:
 # backend equivalence, reorg truncation, sharded restarts.
 test-persist:
 	$(PYTHON) -m pytest tests/test_persist.py tests/test_storage.py -q
+
+# Snapshot-sync suite only: chunk/manifest codec, verified catch-up,
+# byzantine rejection matrix, crash-resume, faulty-network convergence.
+test-sync:
+	$(PYTHON) -m pytest tests/test_sync.py tests/test_network.py -q
 
 # Fast CI-friendly run of the hot-path benchmark (small sizes).
 bench-smoke:
@@ -41,9 +46,15 @@ bench-persist:
 bench-ingest:
 	$(PYTHON) benchmarks/bench_ingest.py
 
+# Full snapshot-sync benchmark; writes BENCH_sync.json and asserts the
+# acceptance floor (replica catch-up >= 5x vs genesis replay at 2k
+# blocks).
+bench-sync:
+	$(PYTHON) benchmarks/bench_sync.py
+
 # Every BENCH_*.json producer at full size, floors asserted — a perf
 # regression anywhere fails this target.
-bench-all: bench-hotpath bench-shard bench-persist bench-ingest
+bench-all: bench-hotpath bench-shard bench-persist bench-ingest bench-sync
 
 # CI-style verification in one command: tier-1 tests plus a smoke pass
 # of each perf benchmark (same code paths, small sizes, no floors).
@@ -52,3 +63,4 @@ check: test
 	$(PYTHON) benchmarks/bench_shard_scaling.py --smoke
 	$(PYTHON) benchmarks/bench_persist.py --smoke
 	$(PYTHON) benchmarks/bench_ingest.py --smoke
+	$(PYTHON) benchmarks/bench_sync.py --smoke

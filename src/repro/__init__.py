@@ -97,6 +97,14 @@ from .sharding import (
     ShardRouter,
 )
 from .ingest import IngestPipeline, IngestStats, QueueStats
+from .sync import (
+    ShardReplica,
+    SnapshotClient,
+    SnapshotManifest,
+    SnapshotServer,
+    SyncReport,
+)
+from .errors import SyncError
 
 __all__ = [
     "__version__",
@@ -171,4 +179,10 @@ __all__ = [
     "IngestStats",
     "QueueStats",
     "QueueFull",
+    "ShardReplica",
+    "SnapshotClient",
+    "SnapshotManifest",
+    "SnapshotServer",
+    "SyncError",
+    "SyncReport",
 ]

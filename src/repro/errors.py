@@ -108,6 +108,40 @@ class PartitionError(NetworkError):
     """Message could not be delivered because of a network partition."""
 
 
+class SyncError(NetworkError):
+    """Snapshot-sync catch-up failed closed against a serving peer.
+
+    Raised by the :mod:`repro.sync` client whenever downloaded material
+    does not verify against the trust root (beacon headers) or the
+    hash-bound manifest: a corrupt or forged chunk, a tail that does not
+    hash-chain to the beacon-anchored head, a state image whose root
+    mismatches the anchored commitment, a stale or wrong-height offer,
+    or a peer that stops answering.  ``reason`` is a stable machine
+    code (``"corrupt_chunk"``, ``"forged_tail"``, ``"state_root_mismatch"``,
+    ``"stale_snapshot"``, ``"forged_offer"``, ``"peer_unresponsive"``, …)
+    so callers can drive retry/failover policy without parsing messages.
+    """
+
+    def __init__(self, message: str, *, reason: str = "sync_failed",
+                 shard_id: int | None = None,
+                 peer: str | None = None,
+                 detail: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.shard_id = shard_id
+        self.peer = peer
+        self.detail = detail
+
+    def as_dict(self) -> dict:
+        """Structured form for reports, logs, and wire responses."""
+        return {
+            "reason": self.reason,
+            "shard_id": self.shard_id,
+            "peer": self.peer,
+            "detail": self.detail,
+        }
+
+
 class ContractError(ReproError):
     """Base class for smart-contract runtime failures."""
 

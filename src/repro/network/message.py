@@ -8,6 +8,20 @@ from typing import Any, Mapping
 from ..serialization import canonical_encode
 
 
+class SizedList(list):
+    """A message-body value that declares its serialized size up front.
+
+    :attr:`NetMessage.size_bytes` honors a ``size_bytes`` attribute on
+    body values instead of re-encoding them; bulk payloads (snapshot
+    tail batches) use this so stats accounting stays O(1) per message
+    instead of re-serializing megabytes of frames it already carries.
+    """
+
+    def __init__(self, items=(), size_bytes: int = 0) -> None:
+        super().__init__(items)
+        self.size_bytes = size_bytes
+
+
 @dataclass(frozen=True)
 class NetMessage:
     """A typed message between two simulated nodes.

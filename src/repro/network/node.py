@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..chain import Block, Blockchain, ChainParams, Mempool, Transaction
-from ..errors import ChainError
+from ..errors import ChainError, SyncError
 from .gossip import GossipProtocol
 from .message import NetMessage
 from .simnet import SimNet
@@ -35,7 +35,8 @@ class ChainNode:
         self.mempool = Mempool()
         self._topic_handlers: dict[str, TopicHandler] = {}
         self.gossip: GossipProtocol | None = None
-        self._sharded = None  # set by serve_shards()
+        self._sharded = None       # set by serve_shards()
+        self._sync_server = None   # set by serve_sync()
         net.register(node_id, self.dispatch, region=region)
         self.on_topic("tx", self._handle_tx)
         self.on_topic("block", self._handle_block)
@@ -101,6 +102,36 @@ class ChainNode:
         :class:`~repro.sharding.shardchain.ShardedChain`."""
         self._sharded = sharded_chain
         self.on_topic("shard_tx", self._handle_shard_tx)
+
+    def serve_sync(self, server) -> None:
+        """Become a snapshot-sync peer: answer ``sync/offer``,
+        ``sync/chunk``, and ``sync/tail`` requests from a
+        :class:`~repro.sync.server.SnapshotServer`."""
+        self._sync_server = server
+        for topic in ("sync/offer", "sync/chunk", "sync/tail"):
+            self.on_topic(topic, self._handle_sync_request)
+
+    def _handle_sync_request(self, msg: NetMessage) -> None:
+        # Requests carry {"req": True}; anything else on these topics is
+        # a response addressed to a client and not ours to answer.
+        body = dict(msg.body)
+        if self._sync_server is None or not body.get("req"):
+            return
+        try:
+            resp = dict(self._sync_server.handle(msg.topic, body))
+        except SyncError as exc:
+            resp = {"error": exc.as_dict(), "message": str(exc)}
+        except (ChainError, KeyError, TypeError, ValueError) as exc:
+            # A malformed request must not abort the network event loop.
+            resp = {
+                "error": {"reason": "bad_request"},
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+        resp["req_id"] = body.get("req_id")
+        resp["resp"] = True
+        self.net.send(NetMessage(sender=self.node_id,
+                                 recipient=msg.sender,
+                                 topic=msg.topic, body=resp))
 
     def send_shard_transaction(self, gateway_id: str, tx: Transaction) -> bool:
         """Client-side: submit a transaction to a shard gateway node."""

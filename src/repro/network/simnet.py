@@ -46,12 +46,40 @@ class LatencyModel:
 
 
 @dataclass
+class TopicFaults:
+    """Deterministic fault plan for one topic (snapshot-sync hardening).
+
+    Probabilities are sampled from the net's seeded RNG, so a given
+    ``(seed, traffic)`` pair always injects the same faults:
+
+    * ``drop`` — the message silently disappears;
+    * ``duplicate`` — a second copy is queued with an independent
+      latency sample (the receiver sees it twice, possibly far apart);
+    * ``reorder`` — the message is held ``reorder_delay`` extra ticks so
+      later sends overtake it.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_delay: int = 50
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "reorder"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise NetworkError(f"{name} probability must be in [0, 1)")
+
+
+@dataclass
 class NetStats:
     """Counters the benchmarks read off after a run."""
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_reordered: int = 0
     bytes_sent: int = 0
     by_topic: dict = field(default_factory=dict)
 
@@ -81,6 +109,7 @@ class SimNet:
         self._handlers: dict[str, Handler] = {}
         self._regions: dict[str, str] = {}
         self._partitions: list[frozenset[str]] = []
+        self._topic_faults: dict[str, TopicFaults] = {}
         # Event queue entries: (deliver_at, seq, message)
         self._queue: list[tuple[int, int, NetMessage]] = []
         self._seq = 0
@@ -113,6 +142,28 @@ class SimNet:
     def heal(self) -> None:
         self._partitions = []
 
+    # ------------------------------------------------------------------
+    # Fault injection (per-topic, deterministic under the net's seed)
+    # ------------------------------------------------------------------
+    def inject_faults(self, topic: str, drop: float = 0.0,
+                      duplicate: float = 0.0, reorder: float = 0.0,
+                      reorder_delay: int = 50) -> None:
+        """Attach a :class:`TopicFaults` plan to ``topic`` (replacing any
+        existing plan; all-zero probabilities remove it)."""
+        plan = TopicFaults(drop=drop, duplicate=duplicate,
+                           reorder=reorder, reorder_delay=reorder_delay)
+        if drop == duplicate == reorder == 0.0:
+            self._topic_faults.pop(topic, None)
+        else:
+            self._topic_faults[topic] = plan
+
+    def clear_faults(self, topic: str | None = None) -> None:
+        """Remove the fault plan for ``topic`` (all topics when None)."""
+        if topic is None:
+            self._topic_faults.clear()
+        else:
+            self._topic_faults.pop(topic, None)
+
     def _can_reach(self, src: str, dst: str) -> bool:
         if not self._partitions:
             return True
@@ -135,10 +186,27 @@ class SimNet:
         if self.drop_rate > 0 and self.rng.random() < self.drop_rate:
             self.stats.messages_dropped += 1
             return False
+        faults = self._topic_faults.get(msg.topic)
+        if faults is not None and faults.drop > 0 \
+                and self.rng.random() < faults.drop:
+            self.stats.messages_dropped += 1
+            return False
         same_region = (
             self._regions.get(msg.sender) == self._regions.get(msg.recipient)
         )
         latency = self.latency.sample(self.rng, same_region)
+        if faults is not None:
+            if faults.reorder > 0 and self.rng.random() < faults.reorder:
+                latency += faults.reorder_delay
+                self.stats.messages_reordered += 1
+            if faults.duplicate > 0 and self.rng.random() < faults.duplicate:
+                extra = self.latency.sample(self.rng, same_region)
+                heapq.heappush(
+                    self._queue,
+                    (self.clock.now() + extra, self._seq, msg),
+                )
+                self._seq += 1
+                self.stats.messages_duplicated += 1
         deliver_at = self.clock.now() + latency
         heapq.heappush(self._queue, (deliver_at, self._seq, msg))
         self._seq += 1

@@ -20,9 +20,40 @@ from ..crypto.merkle import MerkleProof, MerkleTree, leaf_hash, verify_proof
 from ..errors import ShardError
 
 
-def shard_block_leaf(shard_id: int, height: int, block_hash: bytes) -> dict:
-    """Canonical leaf content committing one shard block to the beacon."""
-    return {"shard": shard_id, "height": height, "block_hash": block_hash}
+def shard_block_leaf(shard_id: int, height: int, block_hash: bytes,
+                     state_root: bytes = b"") -> dict:
+    """Canonical leaf content committing one shard block to the beacon.
+
+    ``state_root`` commits the shard's post-execution state at this
+    block when known (sealing rounds tag the shard's head block with
+    it); ``b""`` means "not committed".  Snapshot sync relies on this:
+    a state image downloaded from an untrusted peer is accepted only if
+    its recomputed root matches the beacon-anchored commitment.
+
+    The key is *omitted* when there is no commitment, so leaves anchored
+    before state roots existed keep their exact hash — rounds persisted
+    by older deployments still verify after restore.  (The two forms
+    cannot be confused: the key set is part of the canonical encoding.)
+    """
+    leaf = {"shard": shard_id, "height": height, "block_hash": block_hash}
+    if state_root:
+        leaf["state_root"] = state_root
+    return leaf
+
+
+def _normalize_entries(
+    entries: Sequence[tuple],
+) -> list[tuple[int, int, bytes, bytes]]:
+    """Accept ``(shard, height, hash)`` or ``(..., state_root)`` tuples."""
+    out = []
+    for entry in entries:
+        if len(entry) == 3:
+            sid, h, bh = entry
+            out.append((int(sid), int(h), bh, b""))
+        else:
+            sid, h, bh, sr = entry
+            out.append((int(sid), int(h), bh, sr))
+    return out
 
 
 @dataclass(frozen=True)
@@ -48,10 +79,12 @@ class ShardBlockProof:
     round_no: int
     beacon_height: int
     beacon_tx_id: str
+    state_root: bytes = b""     # anchored state commitment (b"" = none)
 
     @property
     def leaf(self) -> dict:
-        return shard_block_leaf(self.shard_id, self.height, self.block_hash)
+        return shard_block_leaf(self.shard_id, self.height,
+                                self.block_hash, self.state_root)
 
 
 @dataclass(frozen=True)
@@ -100,9 +133,9 @@ class BeaconChain:
         self._trees: list[MerkleTree] = []
         # (shard_id, shard height) -> (round index, leaf index)
         self._locator: dict[tuple[int, int], tuple[int, int]] = {}
-        # Per-round (shard_id, height, block_hash) entries, kept so the
-        # round trees can be dumped/rebuilt across a restart.
-        self._round_entries: list[list[tuple[int, int, bytes]]] = []
+        # Per-round (shard_id, height, block_hash, state_root) entries,
+        # kept so the round trees can be dumped/rebuilt across a restart.
+        self._round_entries: list[list[tuple[int, int, bytes, bytes]]] = []
 
     # ------------------------------------------------------------------
     # Introspection
@@ -122,25 +155,38 @@ class BeaconChain:
         loc = self._locator.get((shard_id, height))
         return self.receipts[loc[0]] if loc else None
 
+    def anchored_entry(
+        self, shard_id: int, height: int
+    ) -> tuple[int, int, bytes, bytes] | None:
+        """The committed ``(shard, height, block_hash, state_root)``
+        entry for one shard block, or ``None`` when not anchored."""
+        loc = self._locator.get((shard_id, height))
+        if loc is None:
+            return None
+        return self._round_entries[loc[0]][loc[1]]
+
     # ------------------------------------------------------------------
     # Anchoring
     # ------------------------------------------------------------------
     def anchor_round(
         self,
-        entries: Sequence[tuple[int, int, bytes]],
+        entries: Sequence[tuple],
         timestamp: int = 0,
     ) -> BeaconReceipt:
-        """Commit one round's shard blocks: ``(shard_id, height, hash)``.
+        """Commit one round's shard blocks: ``(shard_id, height, hash)``
+        or ``(shard_id, height, hash, state_root)`` tuples.
 
         One beacon transaction per round, regardless of shard count —
         the beacon's load grows with *rounds*, not with traffic.
         """
         if not entries:
             raise ShardError("cannot anchor an empty round")
+        entries = _normalize_entries(entries)
         round_no = len(self.receipts)
-        leaves = [shard_block_leaf(sid, h, bh) for sid, h, bh in entries]
+        leaves = [shard_block_leaf(sid, h, bh, sr)
+                  for sid, h, bh, sr in entries]
         in_batch: set[tuple[int, int]] = set()
-        for sid, h, _ in entries:
+        for sid, h, _, _ in entries:
             if (sid, h) in self._locator or (sid, h) in in_batch:
                 raise ShardError(
                     f"shard {sid} block {h} is already beacon-anchored"
@@ -172,8 +218,8 @@ class BeaconChain:
         )
         self.receipts.append(receipt)
         self._trees.append(tree)
-        self._round_entries.append([(sid, h, bh) for sid, h, bh in entries])
-        for index, (sid, h, _) in enumerate(entries):
+        self._round_entries.append(list(entries))
+        for index, (sid, h, _, _) in enumerate(entries):
             self._locator[(sid, h)] = (round_no, index)
         return receipt
 
@@ -196,13 +242,18 @@ class BeaconChain:
                 for r in self.receipts
             ],
             "rounds": [
-                [[sid, h, bh] for sid, h, bh in entries]
+                [[sid, h, bh, sr] for sid, h, bh, sr in entries]
                 for entries in self._round_entries
             ],
         }
 
     def restore_state(self, state) -> None:
-        """Inverse of :meth:`dump_state`; replaces all derived state."""
+        """Inverse of :meth:`dump_state`; replaces all derived state.
+
+        3-element round entries (written before state roots were
+        committed) restore with an empty commitment; their leaves omit
+        the ``state_root`` key entirely, so they re-hash to exactly the
+        roots their anchor transactions sealed."""
         self.receipts = [
             BeaconReceipt(
                 round_no=r["round_no"],
@@ -217,12 +268,13 @@ class BeaconChain:
         self._round_entries = []
         self._locator = {}
         for round_no, entries in enumerate(state["rounds"]):
-            entries = [(int(sid), int(h), bh) for sid, h, bh in entries]
+            entries = _normalize_entries(entries)
             self._round_entries.append(entries)
             self._trees.append(MerkleTree(
-                [shard_block_leaf(sid, h, bh) for sid, h, bh in entries]
+                [shard_block_leaf(sid, h, bh, sr)
+                 for sid, h, bh, sr in entries]
             ))
-            for index, (sid, h, _) in enumerate(entries):
+            for index, (sid, h, _, _) in enumerate(entries):
                 self._locator[(sid, h)] = (round_no, index)
 
     # ------------------------------------------------------------------
@@ -238,7 +290,8 @@ class BeaconChain:
         round_no, index = loc
         receipt = self.receipts[round_no]
         tree = self._trees[round_no]
-        leaf = shard_block_leaf(shard_id, height, block_hash)
+        state_root = self._round_entries[round_no][index][3]
+        leaf = shard_block_leaf(shard_id, height, block_hash, state_root)
         if tree.leaf(index) != leaf_hash(leaf):
             raise ShardError(
                 f"shard {shard_id} block {height}: supplied hash does not "
@@ -253,6 +306,7 @@ class BeaconChain:
             round_no=round_no,
             beacon_height=receipt.block_height,
             beacon_tx_id=receipt.tx_id,
+            state_root=state_root,
         )
 
     def verify_shard_block(self, proof: ShardBlockProof) -> bool:

@@ -300,6 +300,7 @@ class ShardedChain:
         self._pending_ingest_s = [0.0] * n_shards
         self.rounds_sealed = 0
         self._coordinators: list[Any] = []
+        self._replica_seq = 0
         # Thread-pool sealing: None = auto (parallel iff the deployment
         # is durable, where per-shard fsync/sqlite I/O releases the GIL
         # and overlaps even on one core; a GIL-bound in-memory deployment
@@ -603,7 +604,7 @@ class ShardedChain:
 
     def _seal_shard_round(
         self, shard_id: int, ts: int, blocks_per_shard: int,
-    ) -> tuple[ShardSealStats, list[tuple[int, int, bytes]], int]:
+    ) -> tuple[ShardSealStats, list[tuple[int, int, bytes, bytes]], int]:
         """One shard's whole round of work: drain up to
         ``blocks_per_shard`` block batches from its mempool, build the
         chained blocks, and commit them through the chain's group-commit
@@ -662,14 +663,22 @@ class ShardedChain:
         # beacon commit succeeds — a round that fails in another shard
         # must not leave this shard's blocks un-anchorable forever.
         blocks = 0
-        entries: list[tuple[int, int, bytes]] = []
+        entries: list[tuple[int, int, bytes, bytes]] = []
         for height in range(self._anchored_height[shard_id] + 1,
                             shard.chain.height + 1):
             entries.append(
                 (shard_id, height,
-                 shard.chain.block_at(height).block_hash)
+                 shard.chain.block_at(height).block_hash, b"")
             )
             blocks += 1
+        if entries:
+            # The round's last entry is the shard's current head, and no
+            # execution happens between here and the beacon commit — tag
+            # it with the post-execution state root so snapshot images
+            # taken at this height verify against the beacon.
+            sid, height, block_hash, _ = entries[-1]
+            entries[-1] = (sid, height, block_hash,
+                           shard.chain.state.state_root())
         stats = ShardSealStats(
             txs_sealed=txs_sealed,
             blocks_produced=blocks,
@@ -720,7 +729,7 @@ class ShardedChain:
         use_pool = (self.seal_workers > 1 if parallel is None
                     else parallel) and len(selected) > 1
         per_shard: dict[int, ShardSealStats] = {}
-        entries: list[tuple[int, int, bytes]] = []
+        entries: list[tuple[int, int, bytes, bytes]] = []
         if use_pool:
             futures = [
                 self._get_seal_pool().submit(
@@ -771,6 +780,53 @@ class ShardedChain:
                 and self.rounds_sealed % self.checkpoint_every_rounds == 0):
             self.checkpoint()
         return report
+
+    # ------------------------------------------------------------------
+    # Replicas (snapshot sync; see repro.sync)
+    # ------------------------------------------------------------------
+    def spawn_replica(
+        self,
+        shard_id: int,
+        storage_dir: str,
+        net,
+        node_id: str | None = None,
+        peers: Sequence[str] = (),
+        anchor_batch_size: int | None = None,
+        region: str = "default",
+    ):
+        """Create a :class:`~repro.sync.replica.ShardReplica` of one
+        shard: a durable store directory plus a network identity that
+        :meth:`~repro.sync.replica.ShardReplica.catch_up` brings to the
+        beacon-anchored head over ``peers`` (snapshot-sync gateway
+        nodes) with zero genesis replay.
+
+        The replica inherits the shard's chain parameters and uses
+        *this* facade's beacon as its trust root — on a real deployment
+        that is the beacon light-client sync the ROADMAP still lists;
+        verification only ever touches beacon headers.
+        """
+        from ..sync.replica import ShardReplica
+
+        shard = self.shard(shard_id)          # validates the id
+        if node_id is None:
+            node_id = f"replica-{shard.chain.chain_id}-{self._replica_seq}"
+            self._replica_seq += 1
+        return ShardReplica(
+            shard_id=shard_id,
+            params=ChainParams(
+                chain_id=shard.chain.chain_id,
+                max_block_txs=shard.chain.params.max_block_txs,
+                reorg_journal_depth=shard.chain.params.reorg_journal_depth,
+            ),
+            storage_dir=storage_dir,
+            net=net,
+            node_id=node_id,
+            peers=peers,
+            beacon=self.beacon,
+            anchor_batch_size=(anchor_batch_size if anchor_batch_size
+                               is not None else shard.anchor.batch_size),
+            region=region,
+        )
 
     def seal_until_drained(self, max_rounds: int = 10_000) -> list[RoundReport]:
         """Seal rounds until every mempool is empty (bench/test helper)."""

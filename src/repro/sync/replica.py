@@ -1,0 +1,167 @@
+"""Shard replica: a durable shard stack stood up by snapshot sync.
+
+``ShardReplica`` owns a network identity (a
+:class:`~repro.network.node.ChainNode`), a store directory, and — after
+:meth:`catch_up` — a fully opened :class:`~repro.sharding.shardchain.
+Shard` stack (chain + provenance database + anchor service + query
+engine) at the source's beacon-verified head, with **zero** genesis
+replay: the chain reopens from the synced state snapshot
+(``blocks_replayed_on_open == 0``).
+
+``catch_up`` fails over across peers: a byzantine or unreachable peer
+surfaces as a structured :class:`~repro.errors.SyncError`, the store is
+rolled back to its pre-sync base, and the next peer is tried.  Proof
+*packaging* (:meth:`federated_proof`) uses the trusted beacon full
+node the replica was spawned with; proof *verification* needs only
+beacon headers, exactly as on the source.
+"""
+
+from __future__ import annotations
+
+from ..chain import ChainParams
+from ..errors import QueryError, SyncError
+from ..network.node import ChainNode
+from ..sharding.query import FederatedProof
+from ..sharding.shardchain import Shard
+from .client import SnapshotClient, SyncReport
+
+
+class ShardReplica:
+    """One shard's catch-up-capable replica (see the module docstring)."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        params: ChainParams,
+        storage_dir: str,
+        net,
+        node_id: str,
+        peers,
+        beacon,
+        anchor_batch_size: int = 64,
+        region: str = "default",
+    ) -> None:
+        if not peers:
+            raise SyncError("replica needs at least one peer to sync from",
+                            reason="no_peers", shard_id=shard_id)
+        self.shard_id = shard_id
+        self.params = params
+        self.storage_dir = storage_dir
+        self.peers = list(peers)
+        self.beacon = beacon
+        self.anchor_batch_size = anchor_batch_size
+        self.node = ChainNode(node_id, net, region=region)
+        self.shard: Shard | None = None
+        self.last_report: SyncReport | None = None
+
+    # ------------------------------------------------------------------
+    # Catch-up
+    # ------------------------------------------------------------------
+    def catch_up(self, min_height: int = 1, deep_verify: bool = False,
+                 max_retries: int = 8, tail_batch: int = 64,
+                 crash_after_chunks: int | None = None) -> SyncReport:
+        """Sync the store to the peers' beacon-anchored head and (re)open
+        the shard stack on it.  Tries each peer in order; raises the last
+        peer's :class:`~repro.errors.SyncError` if all fail."""
+        local_height = self._local_height()
+        if self.shard is not None:
+            self.shard.close()
+            self.shard = None
+        if min_height <= 1 and local_height > 0:
+            # Re-sync: never accept an offer behind what we already have.
+            min_height = local_height
+        last_error: SyncError | None = None
+        for peer in self.peers:
+            client = SnapshotClient(
+                node=self.node,
+                peer=peer,
+                shard_id=self.shard_id,
+                storage_dir=self.storage_dir,
+                beacon_header_for=self._beacon_header,
+                chain_id=self.params.chain_id,
+                min_height=min_height,
+                max_retries=max_retries,
+                tail_batch=tail_batch,
+                deep_verify=deep_verify,
+                crash_after_chunks=crash_after_chunks,
+            )
+            try:
+                self.last_report = client.sync()
+                break
+            except SyncError as exc:
+                last_error = exc
+                continue
+        else:
+            raise last_error if last_error is not None else SyncError(
+                "no peers available", reason="no_peers",
+                shard_id=self.shard_id,
+            )
+        self._open()
+        return self.last_report
+
+    def _local_height(self) -> int:
+        shard = self.shard
+        return shard.chain.height if shard is not None else 0
+
+    def _beacon_header(self, height: int):
+        return self.beacon.chain.block_at(height).header
+
+    def _open(self) -> None:
+        from ..persist.durable import DurableStorage
+
+        self.shard = Shard(
+            self.shard_id,
+            self.params,
+            anchor_batch_size=self.anchor_batch_size,
+            storage=DurableStorage(self.storage_dir),
+        )
+
+    def close(self) -> None:
+        if self.shard is not None:
+            self.shard.close()
+            self.shard = None
+        self.node.net.unregister(self.node.node_id)
+
+    # ------------------------------------------------------------------
+    # Serving (the replica answers the same queries as its source shard)
+    # ------------------------------------------------------------------
+    def _require_open(self) -> Shard:
+        if self.shard is None:
+            raise SyncError("replica has not caught up yet",
+                            reason="not_synced", shard_id=self.shard_id)
+        return self.shard
+
+    @property
+    def chain(self):
+        return self._require_open().chain
+
+    @property
+    def query(self):
+        return self._require_open().query
+
+    def history(self, subject: str) -> list[dict]:
+        return self._require_open().query.history(subject)
+
+    def federated_proof(self, record_id: str) -> FederatedProof:
+        """Package one record's full evidence chain, exactly as the
+        source facade's :meth:`~repro.sharding.query.ShardedQueryEngine.
+        federated_proof` would."""
+        shard = self._require_open()
+        if not shard.anchor.is_anchored(record_id):
+            raise QueryError(
+                f"record {record_id!r} is not anchored on this replica"
+            )
+        anchor_bundle = shard.anchor.prove_for_light_client(record_id)
+        shard_header = shard.chain.block_at(
+            anchor_bundle.block_height
+        ).header
+        beacon_bundle = self.beacon.light_bundle(
+            self.shard_id, shard_header.height, shard_header.block_hash
+        )
+        return FederatedProof(
+            shard_id=self.shard_id,
+            record_id=record_id,
+            anchor_bundle=anchor_bundle,
+            shard_header=shard_header,
+            beacon_bundle=beacon_bundle,
+        )

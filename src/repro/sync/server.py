@@ -1,0 +1,212 @@
+"""Snapshot server: serves one shard's image + block tail to replicas.
+
+The server is deliberately *untrusted* by its clients: everything it
+serves is either hash-bound to the manifest (chunks), hash-chained to
+the head (tail frames), or beacon-anchored (the head itself, via the
+:class:`~repro.sharding.beacon.BeaconLightBundle` shipped with every
+offer).  A correct client therefore accepts nothing on the server's
+word alone — see :mod:`repro.sync.client`.
+
+Serving is cheap by construction:
+
+* the image (state entries + anchor state + records) is built once per
+  head and cached; chunk requests are list lookups;
+* tail blocks come straight off the durable store's segment log as raw
+  frames (:meth:`~repro.persist.durable.DurableBlockStore.raw_block_item`
+  — no decode); an in-memory source falls back to encoding the live
+  block objects.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from ..errors import ShardError, SyncError
+from ..network.message import SizedList
+from ..persist.codec import encode_block, encode_receipt
+from .codec import DEFAULT_CHUNK_SIZE, SnapshotManifest, encode_image
+
+SYNC_TOPICS = ("sync/offer", "sync/chunk", "sync/tail")
+
+
+@dataclass
+class _CachedImage:
+    manifest: SnapshotManifest
+    chunks: list[bytes]
+
+
+def tail_item(chain, height: int) -> dict:
+    """One block's wire material: raw frame + index rows.
+
+    Durable stores serve the exact log frame without decoding; memory
+    stores encode the live object (byte-identical — the frame format
+    *is* the canonical encoding).
+    """
+    store = chain.store
+    raw = getattr(store, "raw_block_item", None)
+    if raw is not None:
+        return raw(height)
+    block = store.block_at(height)
+    receipts = [store.receipt_for(tx.tx_id) for tx in block.transactions]
+    frame = encode_block(block)
+    return {
+        "height": height,
+        "block_hash": block.block_hash,
+        "frame": frame,
+        "crc": zlib.crc32(frame),
+        "tx_ids": [tx.tx_id for tx in block.transactions],
+        "receipts": [encode_receipt(r) if r is not None else None
+                     for r in receipts],
+    }
+
+
+class SnapshotServer:
+    """Serves snapshot offers, image chunks, and block tails for every
+    shard of one :class:`~repro.sharding.shardchain.ShardedChain`.
+
+    Attach to a gateway node with
+    :meth:`~repro.network.node.ChainNode.serve_sync`.
+    """
+
+    def __init__(self, sharded, chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 max_tail_blocks: int = 512) -> None:
+        self.sharded = sharded
+        self.chunk_size = chunk_size
+        self.max_tail_blocks = max_tail_blocks
+        # Per shard, the most recent images (newest last).  Keeping the
+        # previous head's image alive lets a client that started
+        # downloading before the source sealed another round finish its
+        # chunks instead of failing over mid-sync.
+        self._images: dict[int, list[_CachedImage]] = {}
+        self._images_kept = 2
+        self.offers_served = 0
+        self.chunks_served = 0
+        self.tail_blocks_served = 0
+
+    # ------------------------------------------------------------------
+    # Request dispatch (the ChainNode topic handler calls this)
+    # ------------------------------------------------------------------
+    def handle(self, topic: str, body: dict) -> dict:
+        shard_id = int(body.get("shard_id", -1))
+        if topic == "sync/offer":
+            return self.offer(shard_id)
+        if topic == "sync/chunk":
+            return self.chunk(shard_id, int(body["height"]),
+                              int(body["index"]))
+        if topic == "sync/tail":
+            return self.tail(shard_id, int(body["start"]),
+                             int(body["count"]), int(body["upto"]))
+        raise SyncError(f"unknown sync topic {topic!r}",
+                        reason="bad_request")
+
+    # ------------------------------------------------------------------
+    # Offers
+    # ------------------------------------------------------------------
+    def offer(self, shard_id: int) -> dict:
+        """Build (or refresh) the shard's snapshot image and return the
+        manifest plus the beacon light bundle proving its head."""
+        try:
+            shard = self.sharded.shard(shard_id)
+        except ShardError as exc:
+            raise SyncError(str(exc), reason="bad_request",
+                            shard_id=shard_id) from exc
+        height = shard.chain.height
+        if height < 1:
+            raise SyncError(
+                f"shard {shard_id} has no blocks beyond genesis",
+                reason="stale_snapshot", shard_id=shard_id,
+            )
+        entry = self.sharded.beacon.anchored_entry(shard_id, height)
+        if entry is None or not entry[3]:
+            raise SyncError(
+                f"shard {shard_id} head {height} is not beacon-anchored "
+                "with a state commitment; seal a round first",
+                reason="unanchored_head", shard_id=shard_id,
+            )
+        head_hash = shard.chain.head.block_hash
+        image = self._image_for(shard, height, head_hash, entry[3])
+        bundle = self.sharded.beacon.light_bundle(
+            shard_id, height, head_hash
+        )
+        self.offers_served += 1
+        return {
+            "manifest": image.manifest.to_mapping(),
+            "_bundle_ref": bundle,
+        }
+
+    def _image_for(self, shard, height: int, head_hash: bytes,
+                   state_root: bytes) -> _CachedImage:
+        kept = self._images.setdefault(shard.shard_id, [])
+        for cached in kept:
+            if cached.manifest.height == height \
+                    and cached.manifest.block_hash == head_hash:
+                return cached
+        image_bytes = encode_image(
+            shard.chain.state.dump_entries(),
+            shard.anchor.dump_state(),
+            shard.database.records(),
+        )
+        manifest, chunks = SnapshotManifest.for_image(
+            shard_id=shard.shard_id,
+            chain_id=shard.chain.chain_id,
+            height=height,
+            block_hash=head_hash,
+            state_root=state_root,
+            image=image_bytes,
+            chunk_size=self.chunk_size,
+        )
+        cached = _CachedImage(manifest=manifest, chunks=chunks)
+        kept.append(cached)
+        del kept[:-self._images_kept]
+        return cached
+
+    # ------------------------------------------------------------------
+    # Chunks
+    # ------------------------------------------------------------------
+    def chunk(self, shard_id: int, height: int, index: int) -> dict:
+        cached = next(
+            (c for c in self._images.get(shard_id, ())
+             if c.manifest.height == height), None,
+        )
+        if cached is None:
+            raise SyncError(
+                f"no current image for shard {shard_id} at height "
+                f"{height}; re-request an offer",
+                reason="stale_snapshot", shard_id=shard_id,
+            )
+        if not 0 <= index < len(cached.chunks):
+            raise SyncError(f"chunk index {index} out of range",
+                            reason="bad_request", shard_id=shard_id)
+        self.chunks_served += 1
+        return {"index": index, "data": cached.chunks[index]}
+
+    # ------------------------------------------------------------------
+    # Block tail
+    # ------------------------------------------------------------------
+    def tail(self, shard_id: int, start: int, count: int,
+             upto: int) -> dict:
+        try:
+            shard = self.sharded.shard(shard_id)
+        except ShardError as exc:
+            raise SyncError(str(exc), reason="bad_request",
+                            shard_id=shard_id) from exc
+        upto = min(upto, shard.chain.height)
+        count = max(1, min(count, self.max_tail_blocks))
+        span = min(start + count, upto + 1) - start
+        ranged = getattr(shard.chain.store, "raw_block_items", None)
+        if span > 0 and ranged is not None:
+            items = ranged(start, span)
+        else:
+            items = [tail_item(shard.chain, h)
+                     for h in range(start, start + max(0, span))]
+        self.tail_blocks_served += len(items)
+        wire_size = sum(
+            len(item["frame"])
+            + sum(len(r) for r in item["receipts"] if r is not None)
+            + 48 * (len(item["tx_ids"]) + 1)
+            for item in items
+        )
+        return {"start": start,
+                "items": SizedList(items, size_bytes=wire_size),
+                "head_height": shard.chain.height}

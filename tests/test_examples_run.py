@@ -17,6 +17,9 @@ def test_examples_exist():
     # The sharded cross-org handoff walkthrough ships with the sharding
     # subsystem and must stay runnable (it is picked up by the glob).
     assert any(p.name == "sharded_supply_chain.py" for p in EXAMPLES)
+    # The snapshot-sync walkthrough ships with repro.sync: a new org
+    # joins mid-stream, audits offline, and survives a mid-sync kill.
+    assert any(p.name == "replica_catchup.py" for p in EXAMPLES)
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)

@@ -718,3 +718,92 @@ class TestGroupCommitCrash:
         assert reopened.total_txs_committed == committed
         reopened.verify_all(deep=True)
         reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# PR-4 gap coverage: round-pace EWMA and parallel-seal failure retry
+# ---------------------------------------------------------------------------
+class TestRoundPaceEwma:
+    def test_no_rounds_observed_means_zero_wall_estimate(self):
+        sharded = ShardedChain(n_shards=1, max_block_txs=8)
+        signal = sharded.backpressure_signal(0, depth=20, capacity=20,
+                                             high_watermark=10)
+        assert signal.retry_after_rounds >= 1
+        assert signal.retry_after_s == 0.0     # honest: no pace known yet
+
+    def test_first_round_seeds_the_estimate(self):
+        sharded = ShardedChain(n_shards=1, max_block_txs=8)
+        sharded.submit_many([data_tx(i) for i in range(8)])
+        sharded.seal_round()
+        assert sharded._round_pace_s > 0.0
+        signal = sharded.backpressure_signal(0, depth=20, capacity=20,
+                                             high_watermark=10)
+        assert signal.retry_after_s == pytest.approx(
+            signal.retry_after_rounds * sharded._round_pace_s)
+
+    def test_ewma_decays_toward_a_faster_pace(self):
+        sharded = ShardedChain(n_shards=1, max_block_txs=8)
+        sharded.submit_many([data_tx(i) for i in range(8)])
+        sharded.seal_round()                   # seed with a real pace
+        sharded._round_pace_s = 10.0           # pretend rounds were slow
+        sharded.submit_many([data_tx(100 + i) for i in range(8)])
+        sharded.seal_round()                   # a fast round
+        # pace' = 0.8 * 10.0 + 0.2 * round_s with round_s << 10.
+        assert 8.0 <= sharded._round_pace_s < 9.0
+
+    def test_ewma_rises_from_an_underestimate(self):
+        sharded = ShardedChain(n_shards=1, max_block_txs=8)
+        sharded.submit_many([data_tx(i) for i in range(8)])
+        sharded.seal_round()
+        sharded._round_pace_s = 1e-12          # absurdly optimistic
+        sharded.submit_many([data_tx(100 + i) for i in range(8)])
+        sharded.seal_round()
+        # 0.2 * (a real round's wall time) dominates the stale estimate.
+        assert sharded._round_pace_s > 1e-9
+
+    def test_retry_after_scales_with_backlog_depth(self):
+        sharded = ShardedChain(n_shards=1, max_block_txs=8)
+        sharded._round_pace_s = 2.0
+        shallow = sharded.backpressure_signal(0, depth=9, capacity=64,
+                                              high_watermark=8)
+        deep = sharded.backpressure_signal(0, depth=64, capacity=64,
+                                           high_watermark=8)
+        # over = 2 -> 1 round; over = 57 -> ceil(57 / 8) = 8 rounds.
+        assert shallow.retry_after_rounds == 1
+        assert deep.retry_after_rounds == 8
+        assert shallow.retry_after_s == pytest.approx(2.0)
+        assert deep.retry_after_s == pytest.approx(16.0)
+
+
+class TestParallelSealFailure:
+    def test_failed_shard_retries_and_survivors_still_anchor(self):
+        sharded = ShardedChain(n_shards=3, max_block_txs=8,
+                               seal_workers=3)
+        txs = [data_tx(i, tenant=f"t{i % 9}") for i in range(60)]
+        report = sharded.submit_many(txs)
+        assert report.rejected_total == 0
+        victim = sharded.shards[1]
+        original = victim.chain.append_blocks
+
+        def exploding(blocks):
+            raise RuntimeError("disk died mid-seal")
+
+        victim.chain.append_blocks = exploding
+        with pytest.raises(RuntimeError):
+            sharded.seal_round(parallel=True, blocks_per_shard=2)
+        victim.chain.append_blocks = original
+        # The failed round anchored nothing: surviving shards' new
+        # blocks wait for the next successful round.
+        for shard in (sharded.shards[0], sharded.shards[2]):
+            if shard.chain.height > 0:
+                assert not sharded.beacon.is_anchored(
+                    shard.shard_id, shard.chain.height)
+        # Retry: every shard's blocks (including the survivors' from the
+        # failed round) get beacon-anchored, and nothing was lost.
+        sharded.seal_round(parallel=True, blocks_per_shard=2)
+        sharded.seal_until_drained()
+        assert sharded.total_txs_committed == 60
+        for shard in sharded.shards:
+            for height in range(1, shard.chain.height + 1):
+                assert sharded.beacon.is_anchored(shard.shard_id, height)
+        sharded.verify_all(deep=True)
