@@ -4,8 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-persist test-sync bench-smoke bench-hotpath \
-        bench-shard bench-persist bench-ingest bench-sync bench-all check
+.PHONY: test test-persist test-sync test-exec bench-smoke bench-hotpath \
+        bench-shard bench-persist bench-ingest bench-sync bench-exec \
+        bench-all check
 
 # Tier-1 verification: the full test suite.
 test:
@@ -20,6 +21,11 @@ test-persist:
 # byzantine rejection matrix, crash-resume, faulty-network convergence.
 test-sync:
 	$(PYTHON) -m pytest tests/test_sync.py tests/test_network.py -q
+
+# Execution-engine + tiering suite only: executor parity, worker-death
+# fallback, fork guards, compaction/archival crash points, compression.
+test-exec:
+	$(PYTHON) -m pytest tests/test_exec.py tests/test_tiering.py -q
 
 # Fast CI-friendly run of the hot-path benchmark (small sizes).
 bench-smoke:
@@ -52,9 +58,16 @@ bench-ingest:
 bench-sync:
 	$(PYTHON) benchmarks/bench_sync.py
 
+# Full execution-engine benchmark; writes BENCH_exec.json and asserts
+# the acceptance floors (process sealing >= min(2.0, 0.9 x this
+# machine's raw multiprocessing budget); tiering reclaim >= 30%).
+bench-exec:
+	$(PYTHON) benchmarks/bench_exec.py
+
 # Every BENCH_*.json producer at full size, floors asserted — a perf
 # regression anywhere fails this target.
-bench-all: bench-hotpath bench-shard bench-persist bench-ingest bench-sync
+bench-all: bench-hotpath bench-shard bench-persist bench-ingest \
+           bench-sync bench-exec
 
 # CI-style verification in one command: tier-1 tests plus a smoke pass
 # of each perf benchmark (same code paths, small sizes, no floors).
@@ -64,3 +77,4 @@ check: test
 	$(PYTHON) benchmarks/bench_persist.py --smoke
 	$(PYTHON) benchmarks/bench_ingest.py --smoke
 	$(PYTHON) benchmarks/bench_sync.py --smoke
+	$(PYTHON) benchmarks/bench_exec.py --smoke

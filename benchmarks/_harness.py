@@ -1,0 +1,73 @@
+"""Shared benchmark plumbing: ``--smoke`` contract, JSON persistence,
+acceptance floors.
+
+Every ``bench_*.py`` follows the same protocol:
+
+* ``--smoke`` runs small sizes — same shape, fast enough for
+  ``make check`` — asserts **no** floors and writes **no** JSON (the
+  committed full-mode ``BENCH_*.json`` numbers must never be clobbered
+  by a smoke pass);
+* full mode writes ``BENCH_<name>.json`` at the repo root and asserts
+  the ISSUE's acceptance floors;
+* an explicit ``--out`` is always honored, smoke or not.
+
+This module is that protocol in one place; the scripts keep only their
+workload and their floors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Callable, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def parse_bench_args(
+    doc: str | None,
+    extra: Callable[[argparse.ArgumentParser], None] | None = None,
+) -> argparse.Namespace:
+    """The standard bench CLI: ``--smoke``, ``--out``, plus whatever
+    ``extra(parser)`` adds for one script."""
+    parser = argparse.ArgumentParser(description=doc)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI (same shape, faster); "
+                             "no floors asserted, no JSON written")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: repo root; "
+                             "always honored, even with --smoke)")
+    if extra is not None:
+        extra(parser)
+    return parser.parse_args()
+
+
+def finish_bench(
+    result: dict,
+    json_name: str,
+    args: argparse.Namespace,
+    floors: Sequence[tuple[str, float, float]] = (),
+) -> None:
+    """Persist and gate one bench run.
+
+    ``floors`` is a sequence of ``(label, measured, floor)``; each is
+    asserted ``measured >= floor`` in full mode only.
+    """
+    smoke = bool(getattr(args, "smoke", False))
+    explicit_out = getattr(args, "out", None)
+    out = Path(explicit_out) if explicit_out else REPO_ROOT / json_name
+    if explicit_out or not smoke:
+        out.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {out}")
+    if smoke:
+        return
+    for label, measured, floor in floors:
+        assert measured >= floor, (
+            f"{label} {measured} below the {floor} floor"
+        )
+    if floors:
+        print("floors ok: " + "; ".join(
+            f"{label} {round(measured, 2)}x >= {floor}x"
+            for label, measured, floor in floors
+        ))

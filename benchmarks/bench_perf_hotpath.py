@@ -19,11 +19,9 @@ Run: ``PYTHONPATH=src python benchmarks/bench_perf_hotpath.py [--smoke]``
 
 from __future__ import annotations
 
-import argparse
-import json
 import time
-from pathlib import Path
 
+from _harness import finish_bench, parse_bench_args
 from repro.chain import Block, Blockchain, ChainParams, Transaction, TxKind
 from repro.chain import transaction as tx_mod
 
@@ -127,12 +125,7 @@ def bench_reorg(batches, fork_depth: int) -> dict:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="small sizes for CI (same shape, faster)")
-    parser.add_argument("--out", default=None,
-                        help="output JSON path (default: repo root)")
-    args = parser.parse_args()
+    args = parse_bench_args(__doc__)
 
     if args.smoke:
         n_blocks, txs_per_block, fork_depth = 200, 4, 5
@@ -153,14 +146,6 @@ def main() -> None:
         "verify": verify,
         "reorg": reorg,
     }
-    out = Path(args.out) if args.out else \
-        Path(__file__).resolve().parent.parent / "BENCH_perf_hotpath.json"
-    if args.out or not args.smoke:
-        # A smoke pass (make check) must not clobber the committed
-        # full-mode numbers; an explicit --out is always honored.
-        out.write_text(json.dumps(results, indent=2) + "\n")
-        print(f"written to {out}")
-
     print(f"hot-path bench ({results['mode']}): "
           f"{n_blocks} blocks x {txs_per_block} txs, "
           f"fork depth {fork_depth}")
@@ -169,10 +154,11 @@ def main() -> None:
         print(f"  {name:>7}: {r['before_s']*1e3:9.1f} ms -> "
               f"{r['after_s']*1e3:8.1f} ms   ({r['speedup']:6.1f}x)")
 
-    if not args.smoke:
-        # Acceptance floors (ISSUE 1): verify >= 5x, reorg >= 10x.
-        assert verify["speedup"] >= 5.0, "verify speedup below 5x"
-        assert reorg["speedup"] >= 10.0, "reorg speedup below 10x"
+    # Acceptance floors (ISSUE 1): verify >= 5x, reorg >= 10x.
+    finish_bench(results, "BENCH_perf_hotpath.json", args, floors=[
+        ("verify speedup", verify["speedup"], 5.0),
+        ("reorg speedup", reorg["speedup"], 10.0),
+    ])
 
 
 if __name__ == "__main__":

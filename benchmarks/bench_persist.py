@@ -23,13 +23,14 @@ Run: ``PYTHONPATH=src python benchmarks/bench_persist.py [--smoke]``
 
 from __future__ import annotations
 
-import argparse
 import gc
 import json
 import shutil
 import tempfile
 import time
 from pathlib import Path
+
+from _harness import finish_bench, parse_bench_args
 
 from repro.chain import Blockchain, ChainParams, Transaction, TxKind
 from repro.persist import DurableStorage
@@ -150,10 +151,7 @@ def bench_records(n_records: int, store_dir: str) -> dict:
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser()
-    parser.add_argument("--smoke", action="store_true",
-                        help="small sizes, no floors, no json")
-    args = parser.parse_args()
+    args = parse_bench_args(__doc__)
 
     if args.smoke:
         n_blocks, txs_per_block, n_records = 40, 8, 500
@@ -179,17 +177,10 @@ def main() -> None:
         "record_ingest": records,
     }
     print(json.dumps(result, indent=2))
-    if not args.smoke:
-        out = Path(__file__).resolve().parent.parent / "BENCH_persist.json"
-        out.write_text(json.dumps(result, indent=2) + "\n")
-        print(f"wrote {out}")
-        floor = 5.0
-        speedup = reopen["reopen_speedup_vs_replay"]
-        assert speedup >= floor, (
-            f"reopen-from-snapshot speedup {speedup}x below the "
-            f"{floor}x floor"
-        )
-        print(f"floor ok: reopen {speedup}x >= {floor}x vs genesis replay")
+    finish_bench(result, "BENCH_persist.json", args, floors=[
+        ("reopen-from-snapshot speedup vs genesis replay",
+         reopen["reopen_speedup_vs_replay"], 5.0),
+    ])
 
 
 if __name__ == "__main__":

@@ -25,11 +25,9 @@ Run: ``PYTHONPATH=src python benchmarks/bench_shard_scaling.py [--smoke]``
 
 from __future__ import annotations
 
-import argparse
 import gc
-import json
-from pathlib import Path
 
+from _harness import finish_bench, parse_bench_args
 from repro.chain import Transaction, TxKind
 from repro.crypto.merkle import leaf_hash
 from repro.sharding import CrossShardCoordinator, ShardedChain
@@ -118,14 +116,9 @@ def run_config(ops: list[ShardOp], n_shards: int,
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--smoke", action="store_true",
-                        help="small sizes for CI (same shape, faster)")
-    parser.add_argument("--shards", default="1,2,4,8",
-                        help="comma-separated shard counts")
-    parser.add_argument("--out", default=None,
-                        help="output JSON path (default: repo root)")
-    args = parser.parse_args()
+    args = parse_bench_args(__doc__, extra=lambda p: p.add_argument(
+        "--shards", default="1,2,4,8",
+        help="comma-separated shard counts"))
 
     if args.smoke:
         n_ops, max_block_txs = 3_000, 64
@@ -163,14 +156,6 @@ def main() -> None:
                    "cross_shard_ratio": 0.02},
         "runs": runs,
     }
-    out = Path(args.out) if args.out else \
-        Path(__file__).resolve().parent.parent / "BENCH_shard_scaling.json"
-    if args.out or not args.smoke:
-        # A smoke pass (make check) must not clobber the committed
-        # full-mode numbers; an explicit --out is always honored.
-        out.write_text(json.dumps(results, indent=2) + "\n")
-        print(f"written to {out}")
-
     print(f"shard scaling ({results['mode']}): {n_ops} ops, "
           f"block limit {max_block_txs}")
     for run in runs:
@@ -181,13 +166,13 @@ def main() -> None:
               f"max-share={run['max_shard_share']:.2f}  "
               f"2pc={run['transfers_committed']}")
 
+    # Acceptance floor (ISSUE 2): >= 2.5x aggregate ingest at 4 shards.
     by_count = {run["n_shards"]: run for run in runs}
-    if not args.smoke and 4 in by_count:
-        # Acceptance floor (ISSUE 2): >= 2.5x aggregate ingest at 4 shards.
-        speedup = by_count[4]["speedup_vs_1shard"]
-        assert speedup >= 2.5, (
-            f"4-shard throughput speedup {speedup:.2f}x below the 2.5x floor"
-        )
+    floors = []
+    if 4 in by_count:
+        floors.append(("4-shard throughput speedup",
+                       by_count[4]["speedup_vs_1shard"], 2.5))
+    finish_bench(results, "BENCH_shard_scaling.json", args, floors=floors)
 
 
 if __name__ == "__main__":

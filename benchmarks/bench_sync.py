@@ -26,7 +26,6 @@ Run: ``PYTHONPATH=src python benchmarks/bench_sync.py [--smoke]``
 
 from __future__ import annotations
 
-import argparse
 import gc
 import json
 import shutil
@@ -34,6 +33,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from _harness import finish_bench, parse_bench_args
 from repro.chain import Blockchain, ChainParams, Transaction, TxKind
 from repro.network import ChainNode, LatencyModel, SimNet
 from repro.persist import DurableStorage
@@ -165,10 +165,7 @@ def verify_replica_proofs(sharded: ShardedChain, replica_dir: str,
 
 
 def main() -> None:
-    parser = argparse.ArgumentParser()
-    parser.add_argument("--smoke", action="store_true",
-                        help="small sizes, no floors, no json")
-    args = parser.parse_args()
+    args = parse_bench_args(__doc__)
 
     if args.smoke:
         n_blocks, txs_per_block, n_records = 120, 8, 400
@@ -205,17 +202,10 @@ def main() -> None:
         "catchup_speedup_vs_replay": speedup,
     }
     print(json.dumps(result, indent=2))
-    if not args.smoke:
-        out = Path(__file__).resolve().parent.parent / "BENCH_sync.json"
-        out.write_text(json.dumps(result, indent=2) + "\n")
-        print(f"wrote {out}")
-        floor = 5.0
-        assert speedup >= floor, (
-            f"snapshot-sync catch-up speedup {speedup}x below the "
-            f"{floor}x floor"
-        )
-        print(f"floor ok: catch-up {speedup}x >= {floor}x vs genesis "
-              "replay")
+    finish_bench(result, "BENCH_sync.json", args, floors=[
+        ("snapshot-sync catch-up speedup vs genesis replay",
+         speedup, 5.0),
+    ])
 
 
 if __name__ == "__main__":

@@ -400,6 +400,114 @@ class Blockchain:
             self.checkpoint()
         return all_receipts
 
+    def apply_executed_blocks(
+        self,
+        blocks: list[Block],
+        deltas: list[list],
+        receipts_lists: list[list[TransactionReceipt]] | None = None,
+        raw_items: list[dict] | None = None,
+        expected_state_root: bytes | None = None,
+    ) -> None:
+        """Commit blocks that were validated and executed *elsewhere*
+        (an exec worker process), applying their state deltas instead of
+        re-running transactions.
+
+        ``deltas[i]`` is block ``i``'s :meth:`StateStore.drain_snapshot_delta`
+        change set.  The store commit uses ``raw_items`` (pre-encoded
+        frames for :meth:`~repro.persist.durable.DurableBlockStore.install_raw`)
+        when given and supported, avoiding a parent-side re-encode;
+        otherwise it group-commits ``receipts_lists`` through the normal
+        store surface.  Subscribers need decoded receipts, so callers
+        with subscribers must pass ``receipts_lists`` even on the raw
+        path.
+
+        ``expected_state_root`` is the executing worker's post-group
+        root: when it does not match the parent's root after applying the
+        deltas, everything is unwound and :class:`TamperDetected` is
+        raised *before* any store commit — a diverging worker can never
+        seal state the parent did not reproduce.
+
+        Snapshot journaling, pruning, subscriber fan-out, and interval
+        checkpoints mirror :meth:`append_blocks` exactly, so serial and
+        process-pool sealing leave identical chain/state/journal shape.
+        """
+        if not blocks:
+            return
+        if len(deltas) != len(blocks):
+            raise InvalidBlock("need one state delta per block")
+        prev = self.head
+        start_height = prev.height
+        for block in blocks:
+            if block.height != prev.height + 1:
+                raise InvalidBlock(
+                    f"expected height {prev.height + 1}, got {block.height}"
+                )
+            if block.header.prev_hash != prev.block_hash:
+                raise InvalidBlock(
+                    f"block {block.height} does not link to "
+                    f"{prev.block_id[:10]}…"
+                )
+            prev = block
+        use_raw = raw_items is not None and hasattr(self._store, "install_raw")
+        if self._subscribers and receipts_lists is None:
+            raise StorageError(
+                "chain has subscribers; apply_executed_blocks needs "
+                "decoded receipts_lists to fan out"
+            )
+        if not use_raw and receipts_lists is None:
+            raise StorageError(
+                "store lacks install_raw; pass receipts_lists for the "
+                "group-commit fallback"
+            )
+        depth = self.params.reorg_journal_depth
+        group_snaps: list[int] = []
+        try:
+            for delta in deltas:
+                group_snaps.append(self.state.snapshot())
+                self.state.apply_delta(delta)
+            if expected_state_root is not None \
+                    and self.state.state_root() != expected_state_root:
+                raise TamperDetected(
+                    f"chain {self.chain_id}: worker-reported state root "
+                    "does not match the parent's delta replay"
+                )
+            if use_raw:
+                self._store.install_raw(raw_items)
+            else:
+                self._store.append_blocks(
+                    list(zip(blocks, receipts_lists))
+                )
+        except BaseException:
+            committed = max(0, self._store.height() - start_height)
+            while len(group_snaps) > committed:
+                self.state.rollback(group_snaps.pop())
+            if depth > 0:
+                self._block_snaps.extend(group_snaps)
+            else:
+                for handle in reversed(group_snaps):
+                    self.state.commit_snapshot(handle)
+            raise
+        if use_raw:
+            cache_decoded = getattr(self._store, "cache_decoded", None)
+            if cache_decoded is not None:
+                cache_decoded(blocks)
+        if depth > 0:
+            self._block_snaps.extend(group_snaps)
+            while len(self._block_snaps) > depth:
+                self.state.prune_oldest_snapshot()
+                self._block_snaps.popleft()
+        else:
+            for handle in reversed(group_snaps):
+                self.state.commit_snapshot(handle)
+        if receipts_lists is not None:
+            for block, receipts in zip(blocks, receipts_lists):
+                for callback in self._subscribers:
+                    callback(block, receipts)
+        if (self._snapshot_interval > 0
+                and any(block.height % self._snapshot_interval == 0
+                        for block in blocks)):
+            self.checkpoint()
+
     def _run_executor(self, block: Block) -> list[TransactionReceipt]:
         receipts = []
         for tx in block.transactions:

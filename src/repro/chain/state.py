@@ -204,6 +204,44 @@ class StateStore:
             else:
                 self._erase(full_key)
 
+    def drain_snapshot_delta(
+        self, handle: int
+    ) -> list[tuple[str, str, bool, Any]]:
+        """Commit the top snapshot, returning the *net* change set made
+        under it as ``(namespace, key, present, value)`` ops — one op per
+        touched key, in first-touch order, with ``present=False`` marking
+        a deletion.  Feeding the ops to :meth:`apply_delta` on a store
+        holding the pre-snapshot content reproduces this store's content
+        exactly (and therefore its :meth:`state_root`) — the wire format
+        the process-pool executor ships instead of re-executing blocks
+        in the parent.
+        """
+        self._check_handle(handle)
+        delta: list[tuple[str, str, bool, Any]] = []
+        seen: set[tuple[str, str]] = set()
+        for full_key, _, _ in self._journal[-1][1]:
+            if full_key in seen:
+                continue
+            seen.add(full_key)
+            if full_key in self._data:
+                delta.append(
+                    (full_key[0], full_key[1], True, self._data[full_key])
+                )
+            else:
+                delta.append((full_key[0], full_key[1], False, None))
+        self.commit_snapshot(handle)
+        return delta
+
+    def apply_delta(self, delta) -> None:
+        """Apply a :meth:`drain_snapshot_delta` change set.  Journaled
+        like any other mutation, so a snapshot taken before the apply
+        rolls the whole delta back."""
+        for namespace, key, present, value in delta:
+            if present:
+                self.set(namespace, key, value)
+            else:
+                self.delete(namespace, key)
+
     def prune_oldest_snapshot(self) -> None:
         """Drop the *bottom* journal frame, abandoning its undo info.
 

@@ -72,6 +72,26 @@ _VERIFIED_SIGNATURES: OrderedDict[tuple[str, bytes, bytes], bool] = \
     OrderedDict()
 _VERIFIED_SIGNATURES_MAX = 8192
 _VERIFIED_SIGNATURES_LOCK = threading.Lock()
+_VERIFIED_SIGNATURES_HITS = 0
+_VERIFIED_SIGNATURES_MISSES = 0
+
+
+def _signature_cache_stats() -> dict:
+    """Counters for :func:`repro.crypto.signatures.cache_stats`."""
+    with _VERIFIED_SIGNATURES_LOCK:
+        return {
+            "hits": _VERIFIED_SIGNATURES_HITS,
+            "misses": _VERIFIED_SIGNATURES_MISSES,
+            "size": len(_VERIFIED_SIGNATURES),
+            "capacity": _VERIFIED_SIGNATURES_MAX,
+        }
+
+
+def _reset_signature_cache_stats() -> None:
+    global _VERIFIED_SIGNATURES_HITS, _VERIFIED_SIGNATURES_MISSES
+    with _VERIFIED_SIGNATURES_LOCK:
+        _VERIFIED_SIGNATURES_HITS = 0
+        _VERIFIED_SIGNATURES_MISSES = 0
 
 
 class TxKind(str, Enum):
@@ -234,13 +254,16 @@ class Transaction:
             return False
         if self.signer.address != self.sender:
             return False
+        global _VERIFIED_SIGNATURES_HITS, _VERIFIED_SIGNATURES_MISSES
         sealed = self.is_sealed and HASH_CACHING_ENABLED
         if sealed:
             key = (self.tx_id, self.signer.key_bytes, self.signature)
             with _VERIFIED_SIGNATURES_LOCK:
                 if _VERIFIED_SIGNATURES.get(key):
                     _VERIFIED_SIGNATURES.move_to_end(key)
+                    _VERIFIED_SIGNATURES_HITS += 1
                     return True
+                _VERIFIED_SIGNATURES_MISSES += 1
         ok = verify_encoded(self._encoded_body(), self.signature,
                             self.signer)
         if ok and sealed:

@@ -132,13 +132,18 @@ def verify(message: Any, tag: bytes, public: PublicKey) -> bool:
 _VERIFY_CACHE: OrderedDict[tuple[bytes, bytes, bytes], bool] = OrderedDict()
 _VERIFY_CACHE_MAX = 8192
 _VERIFY_CACHE_LOCK = threading.Lock()
+_VERIFY_CACHE_HITS = 0
+_VERIFY_CACHE_MISSES = 0
 
 
 def _verify_cache_hit(key: tuple[bytes, bytes, bytes]) -> bool:
+    global _VERIFY_CACHE_HITS, _VERIFY_CACHE_MISSES
     with _VERIFY_CACHE_LOCK:
         if _VERIFY_CACHE.get(key):
             _VERIFY_CACHE.move_to_end(key)
+            _VERIFY_CACHE_HITS += 1
             return True
+        _VERIFY_CACHE_MISSES += 1
     return False
 
 
@@ -154,6 +159,68 @@ def clear_verify_cache() -> None:
     """Drop the verification memo (tests and benchmarks)."""
     with _VERIFY_CACHE_LOCK:
         _VERIFY_CACHE.clear()
+
+
+def cache_stats() -> dict:
+    """Hit/miss/size counters for both signature-verification LRUs —
+    this module's digest-keyed memo and the transaction layer's
+    ``(tx_id, signer, tag)`` memo.  The observability the process-pool
+    path needs: offloaded verification must *populate* these caches in
+    the parent (see :func:`record_verified`), not silently run cold."""
+    from ..chain import transaction as tx_mod
+
+    with _VERIFY_CACHE_LOCK:
+        verify_encoded_stats = {
+            "hits": _VERIFY_CACHE_HITS,
+            "misses": _VERIFY_CACHE_MISSES,
+            "size": len(_VERIFY_CACHE),
+            "capacity": _VERIFY_CACHE_MAX,
+        }
+    return {
+        "verify_encoded": verify_encoded_stats,
+        "verify_signature": tx_mod._signature_cache_stats(),
+    }
+
+
+def reset_cache_stats() -> None:
+    """Zero the hit/miss counters (cache contents are untouched)."""
+    global _VERIFY_CACHE_HITS, _VERIFY_CACHE_MISSES
+    from ..chain import transaction as tx_mod
+
+    with _VERIFY_CACHE_LOCK:
+        _VERIFY_CACHE_HITS = 0
+        _VERIFY_CACHE_MISSES = 0
+    tx_mod._reset_signature_cache_stats()
+
+
+def key_material(public: PublicKey) -> bytes | None:
+    """Registry lookup: the signing bytes for ``public``, or ``None``
+    for an unregistered key.  The parent-side half of offloaded
+    verification — workers receive raw key material with each batch, so
+    fork timing never makes a registered key "unknown" in a child."""
+    return _KEY_REGISTRY.get(public.key_bytes)
+
+
+def verify_digest(digest: bytes, key: bytes, tag: bytes) -> bool:
+    """Recompute-and-compare on a prehashed message digest.  Shared by
+    the exec worker's ``verify`` handler and the pool's inline fallback,
+    so both compute exactly what :func:`verify_encoded` would."""
+    expected = hmac.new(key, digest, hashlib.sha256).digest()
+    return hmac.compare_digest(expected, tag)
+
+
+def record_verified(digest: bytes, public_bytes: bytes,
+                    tag: bytes) -> None:
+    """Memoize an externally-established pass (a worker's verdict) so
+    later in-process re-validation of the same item is a cache probe."""
+    _verify_cache_put((digest, public_bytes, tag))
+
+
+def check_verified(digest: bytes, public_bytes: bytes,
+                   tag: bytes) -> bool:
+    """Probe the memo without computing anything — lets the offload
+    path skip shipping already-verified items to a worker."""
+    return _verify_cache_hit((digest, public_bytes, tag))
 
 
 def verify_encoded(encoded: bytes, tag: bytes, public: PublicKey) -> bool:

@@ -25,6 +25,7 @@ tests.
 from __future__ import annotations
 
 import os
+import shutil
 import sqlite3
 from collections import OrderedDict
 from collections.abc import Mapping as MappingABC
@@ -43,7 +44,7 @@ from .codec import (
     encode_receipt,
     encode_record,
 )
-from .segment import FRAME_OVERHEAD, SegmentLog
+from .segment import CrashPoint, SegmentCodec, SegmentLog
 from .stores import BlockStore, MetaStore, RecordStore, StateSnapshotStore
 
 _SCHEMA = """
@@ -52,7 +53,8 @@ CREATE TABLE IF NOT EXISTS blocks(
     segment INTEGER NOT NULL,
     offset INTEGER NOT NULL,
     length INTEGER NOT NULL,
-    block_hash BLOB NOT NULL
+    block_hash BLOB NOT NULL,
+    cas_key TEXT
 );
 CREATE TABLE IF NOT EXISTS txs(
     tx_id TEXT PRIMARY KEY,
@@ -122,10 +124,36 @@ class DurableBlockStore(BlockStore):
                  cache_size: int = 256) -> None:
         self._conn = conn
         self._log = log
+        self._cas = None
         self._cache: OrderedDict[int, Block] = OrderedDict()
         self._cache_size = cache_size
         row = conn.execute("SELECT MAX(height) FROM blocks").fetchone()
         self._height = -1 if row[0] is None else row[0]
+
+    def attach_cas(self, cas) -> None:
+        """Connect the cold tier: blocks whose index row says
+        ``segment = -1`` are fetched from this CAS by ``cas_key``."""
+        self._cas = cas
+
+    def _cas_fetch(self, cas_key: str | None) -> bytes:
+        if self._cas is None:
+            raise StorageError(
+                "block is archived but no CAS is attached"
+            )
+        if not cas_key or ":" not in cas_key:
+            raise StorageError(f"malformed archive key {cas_key!r}")
+        from ..storage.cas import CID
+
+        kind, _, hexdigest = cas_key.partition(":")
+        return self._cas.get(CID(bytes.fromhex(hexdigest), kind))
+
+    def archived_boundary(self) -> int | None:
+        """Highest archived height, or ``None`` when nothing has been
+        moved to the cold tier."""
+        row = self._conn.execute(
+            "SELECT MAX(height) FROM blocks WHERE segment < 0"
+        ).fetchone()
+        return row[0]
 
     # -- write path ----------------------------------------------------
     def append_block(self, block: Block,
@@ -212,6 +240,14 @@ class DurableBlockStore(BlockStore):
     def truncate_above(self, height: int) -> None:
         if height >= self._height:
             return
+        boundary = self.archived_boundary()
+        if boundary is not None and height < boundary:
+            raise StorageError(
+                f"cannot truncate to height {height}: blocks up to "
+                f"{boundary} are archived (the cold tier is immutable "
+                "by construction — keep_tail must exceed the reorg "
+                "journal depth)"
+            )
         row = self._conn.execute(
             "SELECT segment, offset FROM blocks WHERE height = ?",
             (height + 1,),
@@ -236,19 +272,29 @@ class DurableBlockStore(BlockStore):
         while len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
 
+    def cache_decoded(self, blocks: Sequence[Block]) -> None:
+        """Prime the decoded-block cache with blocks the caller already
+        holds (the process-pool commit path installs raw frames, so
+        without this the first read after a round would re-decode)."""
+        for block in blocks:
+            self._cache_put(block)
+
     def block_at(self, height: int) -> Block:
         cached = self._cache.get(height)
         if cached is not None:
             self._cache.move_to_end(height)
             return cached
         row = self._conn.execute(
-            "SELECT segment, offset, block_hash FROM blocks "
+            "SELECT segment, offset, block_hash, cas_key FROM blocks "
             "WHERE height = ?", (height,),
         ).fetchone()
         if row is None:
             raise InvalidBlock(f"no block at height {height}")
-        block = decode_block(self._log.read(row[0], row[1]),
-                             expected_hash=bytes(row[2]))
+        if row[0] < 0:
+            frame = self._cas_fetch(row[3])
+        else:
+            frame = self._log.read(row[0], row[1])
+        block = decode_block(frame, expected_hash=bytes(row[2]))
         self._cache_put(block)
         return block
 
@@ -295,6 +341,15 @@ class DurableBlockStore(BlockStore):
             "WHERE height >= ? AND height < ? ORDER BY height",
             (start, stop),
         ).fetchall()
+        archived = [height for height, segment, _, _ in rows
+                    if segment < 0]
+        if archived:
+            raise StorageError(
+                f"heights {archived[0]}..{archived[-1]} are archived; "
+                "raw frames are served from the hot tail only (snapshot "
+                "sync starts replicas from the state image, not cold "
+                "history)"
+            )
         tx_rows: dict[int, list[str]] = {}
         for tx_id, height in self._conn.execute(
                 "SELECT tx_id, height FROM txs WHERE height >= ? AND "
@@ -574,10 +629,34 @@ class DurableStorage(MetaStore):
     meta).  Runs crash recovery on open; see the module docstring for
     the commit discipline it enforces."""
 
+    _BLOCK_GEN_KEY = "blocks_log_gen"
+    _RECORD_GEN_KEY = "records_log_gen"
+    _ARCHIVED_KEY = "blocks_archived"
+
     def __init__(self, directory: str | os.PathLike,
                  max_segment_bytes: int = 4 * 1024 * 1024,
-                 block_cache_size: int = 256) -> None:
+                 block_cache_size: int = 256,
+                 codec: str | SegmentCodec = SegmentCodec.RAW,
+                 cas=None) -> None:
+        # Fork-safety contract (audited for the exec process pool):
+        # exec workers *never* open durable state — they execute against
+        # in-memory replicas and return deltas; only the parent commits.
+        # A forked child inherits this object's sqlite handle and log
+        # fds, but the pid guards below make any accidental use loud
+        # instead of silently corrupting the parent's files.
+        from ..exec.worker import in_worker
+
+        if in_worker():
+            raise StorageError(
+                "DurableStorage may not be opened inside an exec "
+                "worker: workers hold no durable handles; only the "
+                "parent process commits"
+            )
         self.directory = os.fspath(directory)
+        self._owner_pid = os.getpid()
+        self._max_segment_bytes = max_segment_bytes
+        self.codec = (codec if isinstance(codec, SegmentCodec)
+                      else SegmentCodec(codec))
         os.makedirs(self.directory, exist_ok=True)
         # check_same_thread=False: the parallel sealing round drives each
         # shard's storage from a worker thread (one worker per shard per
@@ -587,6 +666,7 @@ class DurableStorage(MetaStore):
             check_same_thread=False,
         )
         self._conn.executescript(_SCHEMA)
+        self._migrate_schema()
         # WAL keeps index commits append-only (no per-commit journal
         # rewrite) — an order of magnitude cheaper for the one-row
         # transactions the append path issues; synchronous=NORMAL still
@@ -594,13 +674,24 @@ class DurableStorage(MetaStore):
         # fsync-on-seal discipline.
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
+        # Compaction rewrites a log into a fresh *generation* directory
+        # and repoints the index in one transaction; the committed
+        # generation numbers say which directories are live.  Anything
+        # else (a crashed compaction's half-written next gen, or a
+        # superseded previous gen whose cleanup was interrupted) is
+        # swept before the logs open.
+        self._block_gen = int(self.get_meta(self._BLOCK_GEN_KEY, 0))
+        self._record_gen = int(self.get_meta(self._RECORD_GEN_KEY, 0))
+        self._sweep_stale_log_dirs()
         self.block_log = SegmentLog(
-            os.path.join(self.directory, "blocks-log"),
+            self._log_dir("blocks-log", self._block_gen),
             max_segment_bytes=max_segment_bytes,
+            codec=self.codec,
         )
         self.record_log = SegmentLog(
-            os.path.join(self.directory, "records-log"),
+            self._log_dir("records-log", self._record_gen),
             max_segment_bytes=max_segment_bytes,
+            codec=self.codec,
         )
         self.recovered_blocks = self._recover_blocks()
         self.recovered_records = self._recover_records()
@@ -608,15 +699,67 @@ class DurableStorage(MetaStore):
                                         cache_size=block_cache_size)
         self.records = DurableRecordStore(self._conn, self.record_log)
         self.state = DurableStateSnapshotStore(self._conn)
+        self._cas = cas
+        if self._cas is None and \
+                self.get_meta(self._ARCHIVED_KEY) is not None:
+            from ..storage.cas import FileCAS
+
+            self._cas = FileCAS(os.path.join(self.directory, "archive"))
+        if self._cas is not None:
+            self.blocks.attach_cas(self._cas)
+
+    def _migrate_schema(self) -> None:
+        """Additive migrations for stores created by older versions."""
+        columns = [row[1] for row in
+                   self._conn.execute("PRAGMA table_info(blocks)")]
+        if "cas_key" not in columns:
+            with self._conn:
+                self._conn.execute(
+                    "ALTER TABLE blocks ADD COLUMN cas_key TEXT"
+                )
+
+    def _check_owner(self) -> None:
+        if os.getpid() != self._owner_pid:
+            raise StorageError(
+                "durable storage crossed a fork: only the parent "
+                "process may commit (exec workers return deltas)"
+            )
+
+    def _log_dir(self, base: str, generation: int) -> str:
+        name = base if generation == 0 else f"{base}.g{generation}"
+        return os.path.join(self.directory, name)
+
+    def _sweep_stale_log_dirs(self) -> None:
+        current = {
+            os.path.basename(self._log_dir("blocks-log", self._block_gen)),
+            os.path.basename(self._log_dir("records-log",
+                                           self._record_gen)),
+        }
+        for name in os.listdir(self.directory):
+            for base in ("blocks-log", "records-log"):
+                if name != base and not name.startswith(base + ".g"):
+                    continue
+                if name in current:
+                    continue
+                if name != base:
+                    try:
+                        int(name[len(base) + 2:])
+                    except ValueError:
+                        continue
+                path = os.path.join(self.directory, name)
+                if os.path.isdir(path):
+                    shutil.rmtree(path, ignore_errors=True)
+                break
 
     # ------------------------------------------------------------------
     # Crash recovery
     # ------------------------------------------------------------------
     def _frame_ok(self, log: SegmentLog, segment: int, offset: int,
                   length: int) -> bool:
-        payload = log.frame_at(segment, offset)
-        return payload is not None and \
-            len(payload) + FRAME_OVERHEAD == length
+        # Compare the on-disk frame length, not the decoded payload
+        # size: under a compressing codec the two differ.
+        info = log.frame_info_at(segment, offset)
+        return info is not None and info[1] == length
 
     def _recover_blocks(self) -> int:
         """Reconcile the block log with its index table.
@@ -631,9 +774,11 @@ class DurableStorage(MetaStore):
         """
         dropped = 0
         while True:
+            # Archived rows (segment < 0) live in the CAS, not the log:
+            # the walk only reconciles the hot tail.
             row = self._conn.execute(
                 "SELECT height, segment, offset, length FROM blocks "
-                "ORDER BY height DESC LIMIT 1"
+                "WHERE segment >= 0 ORDER BY height DESC LIMIT 1"
             ).fetchone()
             if row is None:
                 self.block_log.truncate_to(0, 0)
@@ -676,9 +821,200 @@ class DurableStorage(MetaStore):
             dropped += 1
 
     # ------------------------------------------------------------------
+    # Storage tiering: compaction + cold-block archival
+    # ------------------------------------------------------------------
+    def disk_usage(self, include_archive: bool = False) -> int:
+        """Bytes on disk for the hot tier (segment logs + sqlite index,
+        WAL included); the archive's cold bytes only when asked — the
+        whole point of tiering is that they can live on other media."""
+        total = 0
+        for path in (self.block_log.directory, self.record_log.directory):
+            total += _dir_bytes(path)
+        for suffix in ("", "-wal", "-shm"):
+            try:
+                total += os.path.getsize(
+                    os.path.join(self.directory, "index.db" + suffix))
+            except OSError:
+                pass
+        if include_archive:
+            total += _dir_bytes(os.path.join(self.directory, "archive"))
+        return total
+
+    def _compact_log(self, table: str, fail_after_bytes: int | None,
+                     crash_before_cleanup: bool) -> dict:
+        """Rewrite one log's live frames into a fresh generation.
+
+        Protocol: (1) copy every indexed frame into the next-generation
+        directory and fsync it; (2) repoint every index row *and* bump
+        the generation meta key in **one** sqlite transaction; (3) swap
+        the in-memory log object; (4) remove the old directory.  A crash
+        before (2) leaves the index on the old generation — the
+        half-written new directory is swept on reopen; a crash after (2)
+        leaves the new generation committed — the old directory is swept
+        on reopen.  There is no intermediate state: the transaction *is*
+        the swap.
+        """
+        if table == "blocks":
+            base, meta_key, gen = ("blocks-log", self._BLOCK_GEN_KEY,
+                                   self._block_gen)
+            old_log = self.block_log
+            rows = self._conn.execute(
+                "SELECT height, segment, offset FROM blocks "
+                "WHERE segment >= 0 ORDER BY height").fetchall()
+            key_column = "height"
+        else:
+            base, meta_key, gen = ("records-log", self._RECORD_GEN_KEY,
+                                   self._record_gen)
+            old_log = self.record_log
+            # Position order, not address order: the rewritten log reads
+            # sequentially for iter_items even after heavy annotation.
+            rows = self._conn.execute(
+                "SELECT position, segment, offset FROM records "
+                "ORDER BY position").fetchall()
+            key_column = "position"
+        bytes_before = _dir_bytes(old_log.directory)
+        new_gen = gen + 1
+        new_dir = self._log_dir(base, new_gen)
+        if os.path.isdir(new_dir):
+            # A previous compaction attempt crashed mid-write in this
+            # same process lifetime; its frames were never committed.
+            shutil.rmtree(new_dir)
+        new_log = SegmentLog(new_dir,
+                             max_segment_bytes=self._max_segment_bytes,
+                             codec=self.codec)
+        if fail_after_bytes is not None:
+            new_log.fail_after_bytes = fail_after_bytes
+        payloads = [old_log.read(segment, offset)
+                    for _, segment, offset in rows]
+        locations = new_log.append_many(payloads, fsync=True)
+        with self._conn:
+            self._conn.executemany(
+                f"UPDATE {table} SET segment = ?, offset = ?, "
+                f"length = ? WHERE {key_column} = ?",
+                [(loc.segment, loc.offset, loc.length, key)
+                 for (key, _, _), loc in zip(rows, locations)],
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta(key, value) VALUES (?,?)",
+                (meta_key, canonical_encode(new_gen)),
+            )
+        old_dir = old_log.directory
+        old_log.close()
+        if table == "blocks":
+            self.block_log = new_log
+            self._block_gen = new_gen
+            self.blocks._log = new_log
+        else:
+            self.record_log = new_log
+            self._record_gen = new_gen
+            self.records._log = new_log
+        if crash_before_cleanup:
+            raise CrashPoint(
+                "injected crash after compaction commit, before cleanup"
+            )
+        shutil.rmtree(old_dir, ignore_errors=True)
+        return {
+            "generation": new_gen,
+            "live_frames": len(rows),
+            "bytes_before": bytes_before,
+            "bytes_after": _dir_bytes(new_dir),
+        }
+
+    def compact(self, which: str = "both",
+                fail_after_bytes: int | None = None,
+                crash_before_cleanup: bool = False) -> dict:
+        """Drop dead log weight: garbage block frames left by reorg
+        truncation and archival, and dead record frames left by
+        ``replace`` (annotation).  The crash hooks drive the tiering
+        fault-injection tests; see :meth:`_compact_log` for why every
+        crash point reconciles on reopen."""
+        self._check_owner()
+        if which not in ("both", "blocks", "records"):
+            raise StorageError(f"unknown compaction target {which!r}")
+        stats: dict[str, dict] = {}
+        if which in ("both", "blocks"):
+            stats["blocks"] = self._compact_log(
+                "blocks", fail_after_bytes, crash_before_cleanup)
+        if which in ("both", "records"):
+            stats["records"] = self._compact_log(
+                "records", fail_after_bytes, crash_before_cleanup)
+        return stats
+
+    def archive_blocks(self, keep_tail: int = 64, cas=None) -> dict:
+        """Move cold block frames into the CAS and repoint the index.
+
+        Every block at or below ``height - keep_tail`` is CAS-put (the
+        exact canonical frame, so CIDs are content addresses of what the
+        log held), then **one** sqlite transaction flips those rows to
+        ``segment = -1`` with their ``cas_key`` and records the archival
+        boundary.  A crash before the transaction leaves only orphan CAS
+        blobs (dedup reclaims them on retry); the index still points at
+        the log, which compaction has not yet touched.  The log space is
+        reclaimed by the *next* :meth:`compact`, which skips archived
+        rows — :meth:`tier` runs both in order.
+        """
+        self._check_owner()
+        if keep_tail < 0:
+            raise StorageError("keep_tail must be >= 0")
+        boundary = self.blocks.height() - keep_tail
+        rows = self._conn.execute(
+            "SELECT height, segment, offset FROM blocks "
+            "WHERE segment >= 0 AND height <= ? ORDER BY height",
+            (boundary,),
+        ).fetchall()
+        if cas is not None:
+            self._cas = cas
+        if not rows:
+            return {"archived": 0,
+                    "boundary": self.blocks.archived_boundary()}
+        if self._cas is None:
+            from ..storage.cas import FileCAS
+
+            self._cas = FileCAS(os.path.join(self.directory, "archive"))
+        updates = []
+        for height, segment, offset in rows:
+            frame = self.block_log.read(segment, offset)
+            cid = self._cas.put(frame)
+            updates.append((f"{cid.kind}:{cid.hex}", height))
+        sync = getattr(self._cas, "sync", None)
+        if sync is not None:
+            sync()
+        with self._conn:
+            self._conn.executemany(
+                "UPDATE blocks SET segment = -1, offset = 0, "
+                "length = 0, cas_key = ? WHERE height = ?", updates,
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta(key, value) VALUES (?,?)",
+                (self._ARCHIVED_KEY, canonical_encode(rows[-1][0])),
+            )
+        self.blocks.attach_cas(self._cas)
+        return {"archived": len(rows), "boundary": rows[-1][0]}
+
+    def tier(self, keep_tail: int = 64, cas=None,
+             compact_records: bool = True) -> dict:
+        """One tiering pass: archive cold blocks, then compact the logs
+        so the hot tier is exactly the pruned profile — state image +
+        hot block tail + live records.  Returns before/after hot-tier
+        byte counts alongside each step's stats."""
+        self._check_owner()
+        bytes_before = self.disk_usage()
+        archived = self.archive_blocks(keep_tail=keep_tail, cas=cas)
+        compacted = self.compact(
+            which="both" if compact_records else "blocks")
+        self.sync()
+        return {
+            "archived": archived,
+            "compacted": compacted,
+            "bytes_before": bytes_before,
+            "bytes_after": self.disk_usage(),
+        }
+
+    # ------------------------------------------------------------------
     # Meta
     # ------------------------------------------------------------------
     def put_meta(self, key: str, value: Any) -> None:
+        self._check_owner()
         with self._conn:
             self._conn.execute(
                 "INSERT OR REPLACE INTO meta(key, value) VALUES (?,?)",
@@ -693,6 +1029,7 @@ class DurableStorage(MetaStore):
 
     # ------------------------------------------------------------------
     def sync(self) -> None:
+        self._check_owner()
         self.block_log.sync()
         self.record_log.sync()
         # WAL commits under synchronous=NORMAL are not individually
@@ -702,8 +1039,24 @@ class DurableStorage(MetaStore):
         self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
 
     def close(self) -> None:
+        self._check_owner()
         self.block_log.close()
         self.record_log.close()
+        close_cas = getattr(self._cas, "close", None)
+        if close_cas is not None:
+            close_cas()
         self._conn.commit()
         self._conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
         self._conn.close()
+
+
+def _dir_bytes(path: str) -> int:
+    """Total file bytes under ``path`` (0 for a missing directory)."""
+    total = 0
+    for root, _, names in os.walk(path):
+        for name in names:
+            try:
+                total += os.path.getsize(os.path.join(root, name))
+            except OSError:
+                pass
+    return total

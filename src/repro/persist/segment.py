@@ -34,6 +34,50 @@ _LEN = struct.Struct("<I")
 FRAME_OVERHEAD = 8          # 4-byte length + 4-byte CRC
 _MAX_PAYLOAD = 1 << 28      # 256 MiB sanity bound on the length prefix
 
+# Bit 31 of the length word marks a zlib-compressed frame body.  The
+# sanity bound leaves bits 28..31 permanently clear in legacy frames, so
+# the flag is unambiguous — old logs read fine under new code and new
+# *uncompressed* frames read fine under old code.  Compression is a
+# per-frame property of the bytes on disk, not a log-level mode: a log
+# opened with ``codec="raw"`` still decodes compressed frames, so codec
+# choice never has to match across reopen.
+_FLAG_COMPRESSED = 0x8000_0000
+_LEN_MASK = 0x7FFF_FFFF
+
+
+class SegmentCodec:
+    """Frame-body codec: ``raw`` stores payloads verbatim; ``zlib``
+    deflates each payload and keeps the smaller of the two (so
+    incompressible payloads never grow).  The CRC always covers the
+    *stored* bytes — corruption is detected before any decompression."""
+
+    RAW = "raw"
+    ZLIB = "zlib"
+
+    def __init__(self, name: str = RAW, level: int = 6) -> None:
+        if name not in (self.RAW, self.ZLIB):
+            raise StorageError(f"unknown segment codec {name!r}")
+        self.name = name
+        self.level = level
+
+    def encode(self, payload: bytes) -> tuple[bytes, bool]:
+        """``(stored_bytes, compressed?)`` for one frame body."""
+        if self.name == self.ZLIB:
+            packed = zlib.compress(payload, self.level)
+            if len(packed) < len(payload):
+                return packed, True
+        return payload, False
+
+    @staticmethod
+    def decode(stored: bytes, compressed: bool) -> bytes | None:
+        """Inverse of :meth:`encode`; ``None`` on a garbled body."""
+        if not compressed:
+            return stored
+        try:
+            return zlib.decompress(stored)
+        except zlib.error:
+            return None
+
 
 class CrashPoint(StorageError):
     """Raised by the fault-injection hook to simulate a mid-write crash."""
@@ -60,17 +104,25 @@ class SegmentLog:
     """Append-only, CRC-framed, segment-rolled byte log."""
 
     def __init__(self, directory: str | os.PathLike,
-                 max_segment_bytes: int = 4 * 1024 * 1024) -> None:
+                 max_segment_bytes: int = 4 * 1024 * 1024,
+                 codec: str | SegmentCodec = SegmentCodec.RAW) -> None:
         if max_segment_bytes < FRAME_OVERHEAD + 1:
             raise StorageError("max_segment_bytes is too small to hold a frame")
         self.directory = os.fspath(directory)
         self.max_segment_bytes = max_segment_bytes
+        self.codec = (codec if isinstance(codec, SegmentCodec)
+                      else SegmentCodec(codec))
         os.makedirs(self.directory, exist_ok=True)
         # Fault injection: when set, the next append writes only this many
         # bytes of the frame, flushes, and raises CrashPoint.
         self.fail_after_bytes: int | None = None
         self.appends = 0
         self.segments_sealed = 0
+        # Fork guard: exec workers inherit this object (and possibly its
+        # open write fd) across fork, but must never write — a child and
+        # the parent sharing one append fd would interleave frames.  The
+        # read path is fork-safe (fresh handle per read).
+        self._owner_pid = os.getpid()
         segments = self._discover()
         self._current = segments[-1] if segments else 0
         # Size of the live segment, tracked in memory so the append hot
@@ -112,6 +164,11 @@ class SegmentLog:
     # Write path
     # ------------------------------------------------------------------
     def _open_for_append(self):
+        if os.getpid() != self._owner_pid:
+            raise StorageError(
+                "segment log crossed a fork: only the owning process "
+                "may append (exec workers hold no durable handles)"
+            )
         if self._write_fh is None:
             self._write_fh = open(self._path(self._current), "ab")
         return self._write_fh
@@ -127,20 +184,26 @@ class SegmentLog:
         self._current_size = 0
         self.segments_sealed += 1
 
+    def _frame(self, payload: bytes) -> bytes:
+        """Encode + frame one payload (codec applied, CRC over the
+        stored bytes)."""
+        if len(payload) > _MAX_PAYLOAD:
+            raise StorageError("payload exceeds the frame sanity bound")
+        stored, compressed = self.codec.encode(payload)
+        word = len(stored) | (_FLAG_COMPRESSED if compressed else 0)
+        return _LEN.pack(word) + stored + _LEN.pack(zlib.crc32(stored))
+
     def append(self, payload: bytes) -> LogLocation:
         """Frame and append ``payload``; returns its address.
 
         The frame is flushed to the OS before returning (readable by any
         other handle); fsync happens at seal/sync/close time.
         """
-        if len(payload) > _MAX_PAYLOAD:
-            raise StorageError("payload exceeds the frame sanity bound")
         if self._current_size >= self.max_segment_bytes:
             self._seal_current()
         fh = self._open_for_append()
         offset = self._current_size
-        frame = (_LEN.pack(len(payload)) + payload
-                 + _LEN.pack(zlib.crc32(payload)))
+        frame = self._frame(payload)
         if self.fail_after_bytes is not None:
             cut = min(self.fail_after_bytes, len(frame))
             self.fail_after_bytes = None
@@ -177,16 +240,13 @@ class SegmentLog:
         chunk: list[bytes] = []
         chunk_bytes = 0
         for payload in payloads:
-            if len(payload) > _MAX_PAYLOAD:
-                raise StorageError("payload exceeds the frame sanity bound")
             if self._current_size + chunk_bytes >= self.max_segment_bytes \
                     and chunk:
                 self._write_chunk(b"".join(chunk), fsync=False)
                 chunk, chunk_bytes = [], 0
             if self._current_size >= self.max_segment_bytes:
                 self._seal_current()
-            frame = (_LEN.pack(len(payload)) + payload
-                     + _LEN.pack(zlib.crc32(payload)))
+            frame = self._frame(payload)
             locations.append(LogLocation(
                 self._current, self._current_size + chunk_bytes, len(frame)
             ))
@@ -238,9 +298,17 @@ class SegmentLog:
     # ------------------------------------------------------------------
     # Read path
     # ------------------------------------------------------------------
-    def frame_at(self, segment: int, offset: int) -> bytes | None:
-        """Payload of the frame at ``(segment, offset)``, or ``None`` if
-        the frame is partial, garbled, or absent (CRC checked)."""
+    def frame_info_at(self, segment: int,
+                      offset: int) -> tuple[bytes, int] | None:
+        """``(payload, on_disk_frame_length)`` for the frame at
+        ``(segment, offset)``, or ``None`` if the frame is partial,
+        garbled, or absent (CRC checked before decompression).
+
+        The on-disk length is what the index stores in its ``length``
+        column; with a compressing codec it differs from
+        ``len(payload) + FRAME_OVERHEAD``, so recovery must compare
+        against this, never against the decoded payload size.
+        """
         if self._write_fh is not None:
             self._write_fh.flush()
         path = self._path(segment)
@@ -250,18 +318,29 @@ class SegmentLog:
                 head = fh.read(4)
                 if len(head) != 4:
                     return None
-                (length,) = _LEN.unpack(head)
+                (word,) = _LEN.unpack(head)
+                compressed = bool(word & _FLAG_COMPRESSED)
+                length = word & _LEN_MASK
                 if length > _MAX_PAYLOAD:
                     return None
                 body = fh.read(length + 4)
                 if len(body) != length + 4:
                     return None
-                payload, crc_bytes = body[:length], body[length:]
-                if zlib.crc32(payload) != _LEN.unpack(crc_bytes)[0]:
+                stored, crc_bytes = body[:length], body[length:]
+                if zlib.crc32(stored) != _LEN.unpack(crc_bytes)[0]:
                     return None
-                return payload
+                payload = SegmentCodec.decode(stored, compressed)
+                if payload is None:
+                    return None
+                return payload, FRAME_OVERHEAD + length
         except OSError:
             return None
+
+    def frame_at(self, segment: int, offset: int) -> bytes | None:
+        """Payload of the frame at ``(segment, offset)``, or ``None`` if
+        the frame is partial, garbled, or absent (CRC checked)."""
+        info = self.frame_info_at(segment, offset)
+        return None if info is None else info[0]
 
     def read(self, segment: int, offset: int) -> bytes:
         """Payload at an address the index vouches for; raises on damage."""
@@ -279,8 +358,8 @@ class SegmentLog:
         invalid one (the recovery boundary)."""
         segment, offset = start
         while True:
-            payload = self.frame_at(segment, offset)
-            if payload is None:
+            info = self.frame_info_at(segment, offset)
+            if info is None:
                 # End of this segment: advance iff a later segment exists.
                 nxt = segment + 1
                 if (offset == self.segment_size(segment)
@@ -288,8 +367,8 @@ class SegmentLog:
                     segment, offset = nxt, 0
                     continue
                 return
-            loc = LogLocation(segment, offset,
-                              FRAME_OVERHEAD + len(payload))
+            payload, frame_length = info
+            loc = LogLocation(segment, offset, frame_length)
             yield loc, payload
             offset = loc.end_offset
 

@@ -51,11 +51,14 @@ class Shard:
 
     def __init__(self, shard_id: int, params: ChainParams,
                  anchor_batch_size: int = 64,
-                 storage=None, snapshot_interval: int = 0) -> None:
+                 storage=None, snapshot_interval: int = 0,
+                 contract_runtime_factory=None) -> None:
         self.shard_id = shard_id
         self.storage = storage
+        runtime = (contract_runtime_factory()
+                   if contract_runtime_factory is not None else None)
         if storage is None:
-            self.chain = Blockchain(params)
+            self.chain = Blockchain(params, contract_runtime=runtime)
             self.database = ProvenanceDatabase()
         else:
             self.chain = Blockchain(
@@ -63,6 +66,7 @@ class Shard:
                 store=storage.blocks,
                 snapshot_store=storage.state,
                 snapshot_interval=snapshot_interval,
+                contract_runtime=runtime,
             )
             self.database = ProvenanceDatabase(store=storage.records)
         self.mempool = Mempool()
@@ -234,11 +238,18 @@ class ShardedChain:
         snapshot_interval: int = 0,
         checkpoint_every_rounds: int = 0,
         seal_workers: int | None = None,
+        executor: str = "auto",
+        exec_workers: int | None = None,
+        contract_runtime_factory=None,
     ) -> None:
         if n_shards < 1:
             raise ShardError("need at least one shard")
         if seal_workers is not None and seal_workers < 1:
             raise ShardError("seal_workers must be >= 1")
+        if executor not in ("auto", "serial", "thread", "process"):
+            raise ShardError(f"unknown executor mode {executor!r}")
+        if exec_workers is not None and exec_workers < 1:
+            raise ShardError("exec_workers must be >= 1")
         self.router = router or ShardRouter(n_shards)
         if self.router.n_shards != n_shards:
             raise ShardError("router shard count does not match")
@@ -279,9 +290,11 @@ class ShardedChain:
                 anchor_batch_size=anchor_batch_size,
                 storage=shard_storages[i],
                 snapshot_interval=snapshot_interval,
+                contract_runtime_factory=contract_runtime_factory,
             )
             for i in range(n_shards)
         ]
+        self.contract_runtime_factory = contract_runtime_factory
         self.beacon = BeaconChain(
             ChainParams(chain_id=f"{chain_id_prefix}-beacon"),
             store=beacon_storage.blocks if beacon_storage else None,
@@ -312,6 +325,17 @@ class ShardedChain:
                             if storage_dir is not None else 1)
         self.seal_workers = seal_workers
         self._seal_pool: ThreadPoolExecutor | None = None
+        # Process-pool sealing (repro.exec): default executor mode for
+        # seal_round ("auto" = thread when seal_workers > 1, else
+        # serial), pool width, the cached pool itself, and per-shard
+        # replica bookkeeping — (worker index, worker epoch, height,
+        # state root) last confirmed held by the shard's exec worker.
+        # A mismatch at job-build time ships a fresh state image.
+        self.executor = executor
+        self.exec_workers = (exec_workers if exec_workers is not None
+                             else min(4, max(2, n_shards)))
+        self._exec_pool = None
+        self._worker_shard_state: dict[int, tuple[int, int, int, bytes]] = {}
         # EWMA of recent round wall time; feeds retry-after estimates.
         self._round_pace_s = 0.0
         if beacon_storage is not None:
@@ -357,11 +381,35 @@ class ShardedChain:
         self.beacon.chain.checkpoint()
         self._beacon_storage.sync()
 
+    def tier_storage(self, keep_tail: int = 256,
+                     compact_records: bool = True) -> dict[int, dict]:
+        """Tier every durable shard store: archive cold blocks into the
+        store's CAS and compact the segment logs (see
+        :meth:`~repro.persist.durable.DurableStorage.tier`).  The hot
+        tail is clamped to the reorg journal window — a reorg can never
+        need to truncate below the archival boundary.  Returns per-shard
+        stats; no-op (empty) for in-memory deployments."""
+        stats: dict[int, dict] = {}
+        for shard in self.shards:
+            if shard.storage is None:
+                continue
+            floor = shard.chain.params.reorg_journal_depth + 1
+            shard.checkpoint()
+            stats[shard.shard_id] = shard.storage.tier(
+                keep_tail=max(keep_tail, floor),
+                compact_records=compact_records,
+            )
+        return stats
+
     def close(self) -> None:
         """Checkpoint and release every store (reopenable afterwards)."""
         if self._seal_pool is not None:
             self._seal_pool.shutdown(wait=True)
             self._seal_pool = None
+        if self._exec_pool is not None:
+            self._exec_pool.shutdown()
+            self._exec_pool = None
+            self._worker_shard_state.clear()
         if self._beacon_storage is None:
             return
         self.checkpoint()
@@ -602,18 +650,12 @@ class ShardedChain:
         after each round (the 2PC coordinator drives its phases there)."""
         self._coordinators.append(coordinator)
 
-    def _seal_shard_round(
+    def _pop_round_blocks(
         self, shard_id: int, ts: int, blocks_per_shard: int,
-    ) -> tuple[ShardSealStats, list[tuple[int, int, bytes, bytes]], int]:
-        """One shard's whole round of work: drain up to
-        ``blocks_per_shard`` block batches from its mempool, build the
-        chained blocks, and commit them through the chain's group-commit
-        surface (one log write + one fsync + one index transaction on a
-        durable store).  Thread-safe per shard: touches only this
-        shard's stack, its slots of the per-shard arrays, and reads of
-        the lock table (which never mutates mid-round)."""
-        shard = self.shard(shard_id)
-        t0 = time.perf_counter()
+    ) -> tuple[list[Block], int]:
+        """Drain up to ``blocks_per_shard`` batches from one shard's
+        mempool and build (but do not execute) the chained blocks."""
+        shard = self.shards[shard_id]
         max_txs = shard.chain.params.max_block_txs
         new_blocks: list[Block] = []
         txs_sealed = 0
@@ -644,25 +686,39 @@ class ShardedChain:
             new_blocks.append(block)
             txs_sealed += len(batch)
             prev = block
-        if new_blocks:
-            try:
-                shard.chain.append_blocks(new_blocks)
-            except BaseException:
-                # The chain unwound the group (or kept only what its
-                # store committed); re-admit the popped transactions of
-                # every uncommitted block so nothing is silently lost —
-                # the batch was acknowledged only as *queued*.
-                committed_height = shard.chain.height
-                for block in new_blocks:
-                    if block.height > committed_height:
-                        shard.mempool.add_many(block.transactions)
-                raise
-        # Collect every block the beacon has not seen yet (includes
-        # anchor-service blocks appended between rounds).  The anchored
-        # watermark itself is advanced by seal_round only after the
-        # beacon commit succeeds — a round that fails in another shard
-        # must not leave this shard's blocks un-anchorable forever.
-        blocks = 0
+        return new_blocks, txs_sealed
+
+    def _append_popped_blocks(self, shard_id: int,
+                              new_blocks: list[Block]) -> None:
+        """Execute popped blocks in-process (the serial path, and the
+        process path's fallback), re-admitting the transactions of every
+        uncommitted block on failure — the batch was acknowledged only
+        as *queued*, so nothing may be silently lost."""
+        shard = self.shards[shard_id]
+        pending = [block for block in new_blocks
+                   if block.height > shard.chain.height]
+        if not pending:
+            return
+        try:
+            shard.chain.append_blocks(pending)
+        except BaseException:
+            # The chain unwound the group (or kept only what its store
+            # committed); re-admit the rest.
+            committed_height = shard.chain.height
+            for block in pending:
+                if block.height > committed_height:
+                    shard.mempool.add_many(block.transactions)
+            raise
+
+    def _collect_round_entries(
+        self, shard_id: int
+    ) -> list[tuple[int, int, bytes, bytes]]:
+        """Every block the beacon has not seen yet (includes anchor-
+        service blocks appended between rounds).  The anchored watermark
+        itself is advanced by seal_round only after the beacon commit
+        succeeds — a round that fails in another shard must not leave
+        this shard's blocks un-anchorable forever."""
+        shard = self.shards[shard_id]
         entries: list[tuple[int, int, bytes, bytes]] = []
         for height in range(self._anchored_height[shard_id] + 1,
                             shard.chain.height + 1):
@@ -670,7 +726,6 @@ class ShardedChain:
                 (shard_id, height,
                  shard.chain.block_at(height).block_hash, b"")
             )
-            blocks += 1
         if entries:
             # The round's last entry is the shard's current head, and no
             # execution happens between here and the beacon commit — tag
@@ -679,9 +734,28 @@ class ShardedChain:
             sid, height, block_hash, _ = entries[-1]
             entries[-1] = (sid, height, block_hash,
                            shard.chain.state.state_root())
+        return entries
+
+    def _seal_shard_round(
+        self, shard_id: int, ts: int, blocks_per_shard: int,
+    ) -> tuple[ShardSealStats, list[tuple[int, int, bytes, bytes]], int]:
+        """One shard's whole round of work: drain up to
+        ``blocks_per_shard`` block batches from its mempool, build the
+        chained blocks, and commit them through the chain's group-commit
+        surface (one log write + one fsync + one index transaction on a
+        durable store).  Thread-safe per shard: touches only this
+        shard's stack, its slots of the per-shard arrays, and reads of
+        the lock table (which never mutates mid-round)."""
+        shard = self.shard(shard_id)
+        t0 = time.perf_counter()
+        new_blocks, txs_sealed = self._pop_round_blocks(
+            shard_id, ts, blocks_per_shard
+        )
+        self._append_popped_blocks(shard_id, new_blocks)
+        entries = self._collect_round_entries(shard_id)
         stats = ShardSealStats(
             txs_sealed=txs_sealed,
-            blocks_produced=blocks,
+            blocks_produced=len(entries),
             duration_s=(time.perf_counter() - t0
                         + self._pending_ingest_s[shard_id]),
             mempool_backlog=len(shard.mempool),
@@ -697,12 +771,204 @@ class ShardedChain:
             )
         return self._seal_pool
 
+    # ------------------------------------------------------------------
+    # Process-pool sealing (repro.exec)
+    # ------------------------------------------------------------------
+    @property
+    def exec_pool(self):
+        """The cached process pool, or ``None`` before the first
+        process-mode round (the ingest pipeline offloads verification
+        through this when it exists)."""
+        return self._exec_pool
+
+    def _get_exec_pool(self, workers: int | None = None):
+        from ..exec.pool import ProcessExecPool
+
+        want = self.exec_workers if workers is None else workers
+        pool = self._exec_pool
+        if pool is not None and pool.n_workers != want:
+            pool.shutdown()
+            pool = None
+            self._worker_shard_state.clear()
+        if pool is None:
+            pool = ProcessExecPool(
+                want, runtime_factory=self.contract_runtime_factory
+            )
+            self._exec_pool = pool
+        return pool
+
+    def _build_exec_job(self, shard_id: int, blocks: list[Block],
+                        frames: list[bytes], widx: int, pool) -> bytes:
+        """Encode one shard's round as an exec job, shipping a full
+        state image iff the worker's replica cannot be current — wrong
+        worker slot, respawned worker (epoch bump), or parent-side state
+        changes since the last confirmed round (anchor flushes, reorgs:
+        detected by height/root comparison, never assumed away)."""
+        from ..crypto.signatures import key_material
+        from ..serialization import canonical_encode
+
+        shard = self.shards[shard_id]
+        base_height = shard.chain.height
+        base_root = shard.chain.state.state_root()
+        job: dict[str, Any] = {
+            "kind": "exec",
+            "chain": shard.chain.chain_id,
+            "base_height": base_height,
+            "base_root": base_root,
+            "blocks": frames,
+            "require_signatures": shard.chain.params.require_signatures,
+        }
+        recorded = self._worker_shard_state.get(shard_id)
+        if recorded != (widx, pool.epoch(widx), base_height, base_root):
+            job["state"] = [
+                [ns, key, value]
+                for ns, key, value in shard.chain.state.dump_entries()
+            ]
+        if shard.chain.params.require_signatures:
+            # Ship the signers' key material: keys registered after the
+            # pool forked would otherwise be unknown in the worker and
+            # fail verification spuriously.
+            keys: dict[str, bytes] = {}
+            for block in blocks:
+                for tx in block.transactions:
+                    if tx.signer is None:
+                        continue
+                    secret = key_material(tx.signer)
+                    if secret is not None:
+                        keys[tx.signer.key_bytes.hex()] = secret
+            job["keys"] = keys
+        return canonical_encode(job)
+
+    def _apply_exec_response(self, shard_id: int, blocks: list[Block],
+                             frames: list[bytes],
+                             response: bytes | None, widx: int,
+                             pool) -> None:
+        """Commit one shard's worker result, falling back to in-process
+        execution on any worker failure (death, need_state, execution
+        error, or a state-root divergence caught before commit)."""
+        from ..persist.codec import canonical_decode, decode_receipt
+
+        shard = self.shards[shard_id]
+        reply = None
+        if response is not None:
+            try:
+                reply = canonical_decode(response)
+            except Exception:  # noqa: BLE001 - treat as worker failure
+                reply = None
+        if reply is not None and reply.get("status") == "ok":
+            try:
+                chain = shard.chain
+                bodies = reply["receipts"]
+                deltas = [
+                    [(op[0], op[1], bool(op[2]), op[3]) for op in ops]
+                    for ops in reply["deltas"]
+                ]
+                raw_items = None
+                receipts_lists = None
+                if hasattr(chain.store, "install_raw"):
+                    raw_items = [
+                        {
+                            "height": block.height,
+                            "block_hash": block.block_hash,
+                            "frame": frame,
+                            "tx_ids": [tx.tx_id
+                                       for tx in block.transactions],
+                            "receipts": body_list,
+                        }
+                        for block, frame, body_list
+                        in zip(blocks, frames, bodies)
+                    ]
+                if chain._subscribers or raw_items is None:
+                    receipts_lists = [
+                        [decode_receipt(body) for body in body_list]
+                        for body_list in bodies
+                    ]
+                chain.apply_executed_blocks(
+                    blocks, deltas,
+                    receipts_lists=receipts_lists,
+                    raw_items=raw_items,
+                    expected_state_root=reply["state_root"],
+                )
+                self._worker_shard_state[shard_id] = (
+                    widx, pool.epoch(widx),
+                    chain.height, reply["state_root"],
+                )
+                return
+            except Exception:  # noqa: BLE001 - fall back in-process
+                pass
+        # Worker died, replied need_state/error, or its result failed to
+        # apply: forget its replica and run the serial path — identical
+        # blocks, identical state transitions, just single-process.
+        self._worker_shard_state.pop(shard_id, None)
+        self._append_popped_blocks(shard_id, blocks)
+
+    def _seal_round_process(
+        self, selected: list[int], ts: int, blocks_per_shard: int,
+        workers: int | None,
+    ) -> list[tuple[ShardSealStats, list, int]]:
+        """Round body for ``executor="process"``: pop + build every
+        shard's blocks, encode them once (wire frames double as the
+        store frames), fan out to the pool, and commit each shard **as
+        its worker finishes** — parent-side durable commits overlap the
+        other workers' compute, which is most of the win on small
+        machines.  Entries are collected per shard afterwards and merged
+        in shard order by seal_round, so the beacon commitment is
+        identical to the serial and thread paths."""
+        from ..persist.codec import encode_block
+
+        pool = self._get_exec_pool(workers)
+        prepared: dict[int, list] = {}
+        jobs: list[tuple[int, bytes]] = []
+        job_shards: list[int] = []
+        for shard_id in selected:
+            t0 = time.perf_counter()
+            blocks, txs_sealed = self._pop_round_blocks(
+                shard_id, ts, blocks_per_shard
+            )
+            widx = shard_id % pool.n_workers
+            # [blocks, frames, txs_sealed, widx, active_s]
+            entry = [blocks, [], txs_sealed, widx, 0.0]
+            if blocks:
+                entry[1] = [encode_block(block) for block in blocks]
+                jobs.append(
+                    (widx,
+                     self._build_exec_job(shard_id, blocks, entry[1],
+                                          widx, pool))
+                )
+                job_shards.append(shard_id)
+            entry[4] = time.perf_counter() - t0
+            prepared[shard_id] = entry
+        for job_index, response in pool.run(jobs):
+            shard_id = job_shards[job_index]
+            entry = prepared[shard_id]
+            t0 = time.perf_counter()
+            self._apply_exec_response(
+                shard_id, entry[0], entry[1], response, entry[3], pool
+            )
+            entry[4] += time.perf_counter() - t0
+        results: list[tuple[ShardSealStats, list, int]] = []
+        for shard_id in selected:
+            entry = prepared[shard_id]
+            shard = self.shards[shard_id]
+            entries = self._collect_round_entries(shard_id)
+            stats = ShardSealStats(
+                txs_sealed=entry[2],
+                blocks_produced=len(entries),
+                duration_s=entry[4] + self._pending_ingest_s[shard_id],
+                mempool_backlog=len(shard.mempool),
+            )
+            self._pending_ingest_s[shard_id] = 0.0
+            results.append((stats, entries, shard.chain.height))
+        return results
+
     def seal_round(
         self,
         shard_ids: Sequence[int] | None = None,
         timestamp: int | None = None,
         parallel: bool | None = None,
         blocks_per_shard: int = 1,
+        executor: str | None = None,
+        workers: int | None = None,
     ) -> RoundReport:
         """Seal up to ``blocks_per_shard`` blocks per loaded shard, then
         beacon-anchor the round.
@@ -713,24 +979,46 @@ class ShardedChain:
         too, so every shard block ends up under exactly one beacon
         header.
 
-        Shards seal via the facade's thread pool when ``parallel`` is
-        true (default: ``seal_workers > 1``, which auto-enables on
-        durable deployments where per-shard fsync and sqlite I/O release
-        the GIL) — wall-clock round time then approaches the slowest
-        shard rather than the sum.  Results are merged in shard order,
-        so the beacon commitment is identical either way.
+        ``executor`` selects the round engine (``None`` = the facade's
+        configured default):
+
+        * ``"serial"`` — in-process, one shard after another;
+        * ``"thread"`` — the facade's thread pool: overlaps per-shard
+          fsync/sqlite I/O (GIL released), execution still serializes;
+        * ``"process"`` — the :mod:`repro.exec` pool (``workers`` sets
+          its width, cached across rounds): validation and execution run
+          in worker processes, the parent applies state deltas and
+          commits as each worker finishes, with graceful in-process
+          fallback for any worker that dies mid-round.
+
+        The legacy ``parallel`` flag forces thread (True) or serial
+        (False) and is ignored when ``executor`` is given explicitly.
+        Whatever the engine, results are merged in shard order, so the
+        beacon commitment is byte-identical across all three.
         """
         if blocks_per_shard < 1:
             raise ShardError("blocks_per_shard must be >= 1")
+        mode = executor
+        if mode is None:
+            if parallel is not None:
+                mode = "thread" if parallel else "serial"
+            else:
+                mode = self.executor
+        if mode == "auto":
+            mode = "thread" if self.seal_workers > 1 else "serial"
+        if mode not in ("serial", "thread", "process"):
+            raise ShardError(f"unknown executor mode {mode!r}")
         selected = list(range(len(self.shards)) if shard_ids is None
                         else shard_ids)
         ts = self.rounds_sealed if timestamp is None else timestamp
         round_t0 = time.perf_counter()
-        use_pool = (self.seal_workers > 1 if parallel is None
-                    else parallel) and len(selected) > 1
         per_shard: dict[int, ShardSealStats] = {}
         entries: list[tuple[int, int, bytes, bytes]] = []
-        if use_pool:
+        if mode == "process":
+            results = self._seal_round_process(
+                selected, ts, blocks_per_shard, workers
+            )
+        elif mode == "thread" and len(selected) > 1:
             futures = [
                 self._get_seal_pool().submit(
                     self._seal_shard_round, sid, ts, blocks_per_shard
