@@ -4,9 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-persist test-sync test-exec bench-smoke bench-hotpath \
-        bench-shard bench-persist bench-ingest bench-sync bench-exec \
-        bench-all check
+.PHONY: test test-persist test-sync test-exec test-obs bench-smoke \
+        bench-hotpath bench-shard bench-persist bench-ingest bench-sync \
+        bench-exec bench-obs bench-all check
 
 # Tier-1 verification: the full test suite.
 test:
@@ -26,6 +26,12 @@ test-sync:
 # fallback, fork guards, compaction/archival crash points, compression.
 test-exec:
 	$(PYTHON) -m pytest tests/test_exec.py tests/test_tiering.py -q
+
+# Observability suite only: metrics registry, span tracing (incl.
+# cross-process propagation + worker-kill fallback), accessor
+# regressions, ops/metrics over SimNet.
+test-obs:
+	$(PYTHON) -m pytest tests/test_obs.py -q
 
 # Fast CI-friendly run of the hot-path benchmark (small sizes).
 bench-smoke:
@@ -64,10 +70,16 @@ bench-sync:
 bench-exec:
 	$(PYTHON) benchmarks/bench_exec.py
 
+# Full observability-overhead benchmark; writes BENCH_obs.json and
+# asserts the acceptance floor (instrumented hot-path submit throughput
+# >= 0.95x uninstrumented — telemetry overhead <= 5%).
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs.py
+
 # Every BENCH_*.json producer at full size, floors asserted — a perf
 # regression anywhere fails this target.
 bench-all: bench-hotpath bench-shard bench-persist bench-ingest \
-           bench-sync bench-exec
+           bench-sync bench-exec bench-obs
 
 # CI-style verification in one command: tier-1 tests plus a smoke pass
 # of each perf benchmark (same code paths, small sizes, no floors).
@@ -78,3 +90,4 @@ check: test
 	$(PYTHON) benchmarks/bench_ingest.py --smoke
 	$(PYTHON) benchmarks/bench_sync.py --smoke
 	$(PYTHON) benchmarks/bench_exec.py --smoke
+	$(PYTHON) benchmarks/bench_obs.py --smoke

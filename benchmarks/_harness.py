@@ -25,6 +25,20 @@ from typing import Callable, Sequence
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
+def _telemetry_snapshot() -> dict:
+    """The run's metrics registry snapshot, embedded in every
+    ``BENCH_*.json`` under ``"telemetry"`` — what the workload actually
+    exercised (cache hits, fsyncs, queue churn) travels with its
+    numbers.  JSON needs no bytes/None handling: registry snapshots are
+    str-keyed scalars by construction."""
+    try:
+        from repro.obs.runtime import telemetry
+
+        return telemetry().snapshot()
+    except Exception:  # noqa: BLE001 - a bench must never fail on this
+        return {}
+
+
 def parse_bench_args(
     doc: str | None,
     extra: Callable[[argparse.ArgumentParser], None] | None = None,
@@ -58,6 +72,7 @@ def finish_bench(
     explicit_out = getattr(args, "out", None)
     out = Path(explicit_out) if explicit_out else REPO_ROOT / json_name
     if explicit_out or not smoke:
+        result = dict(result, telemetry=_telemetry_snapshot())
         out.write_text(json.dumps(result, indent=2) + "\n")
         print(f"wrote {out}")
     if smoke:

@@ -72,26 +72,49 @@ _VERIFIED_SIGNATURES: OrderedDict[tuple[str, bytes, bytes], bool] = \
     OrderedDict()
 _VERIFIED_SIGNATURES_MAX = 8192
 _VERIFIED_SIGNATURES_LOCK = threading.Lock()
-_VERIFIED_SIGNATURES_HITS = 0
-_VERIFIED_SIGNATURES_MISSES = 0
+
+# Hit/miss counters are registry-backed (see repro.obs); the accessor
+# below keeps its historical shape.  Handles are cached per default-
+# telemetry instance, same pattern as repro.crypto.signatures.
+_COUNTER_HANDLES: tuple | None = None
+
+
+def _signature_cache_counters():
+    global _COUNTER_HANDLES
+    from ..obs.runtime import telemetry
+
+    tel = telemetry()
+    handles = _COUNTER_HANDLES
+    if handles is None or handles[0] is not tel:
+        registry = tel.registry
+        handles = (
+            tel,
+            registry.counter("sig_verify_cache_hits_total",
+                             cache="verify_signature"),
+            registry.counter("sig_verify_cache_misses_total",
+                             cache="verify_signature"),
+        )
+        _COUNTER_HANDLES = handles
+    return handles
 
 
 def _signature_cache_stats() -> dict:
     """Counters for :func:`repro.crypto.signatures.cache_stats`."""
+    _, hits, misses = _signature_cache_counters()
     with _VERIFIED_SIGNATURES_LOCK:
         return {
-            "hits": _VERIFIED_SIGNATURES_HITS,
-            "misses": _VERIFIED_SIGNATURES_MISSES,
+            "hits": hits.value,
+            "misses": misses.value,
             "size": len(_VERIFIED_SIGNATURES),
             "capacity": _VERIFIED_SIGNATURES_MAX,
         }
 
 
 def _reset_signature_cache_stats() -> None:
-    global _VERIFIED_SIGNATURES_HITS, _VERIFIED_SIGNATURES_MISSES
+    _, hits, misses = _signature_cache_counters()
     with _VERIFIED_SIGNATURES_LOCK:
-        _VERIFIED_SIGNATURES_HITS = 0
-        _VERIFIED_SIGNATURES_MISSES = 0
+        hits.reset()
+        misses.reset()
 
 
 class TxKind(str, Enum):
@@ -254,16 +277,16 @@ class Transaction:
             return False
         if self.signer.address != self.sender:
             return False
-        global _VERIFIED_SIGNATURES_HITS, _VERIFIED_SIGNATURES_MISSES
         sealed = self.is_sealed and HASH_CACHING_ENABLED
         if sealed:
+            _, cache_hits, cache_misses = _signature_cache_counters()
             key = (self.tx_id, self.signer.key_bytes, self.signature)
             with _VERIFIED_SIGNATURES_LOCK:
                 if _VERIFIED_SIGNATURES.get(key):
                     _VERIFIED_SIGNATURES.move_to_end(key)
-                    _VERIFIED_SIGNATURES_HITS += 1
+                    cache_hits.inc()
                     return True
-                _VERIFIED_SIGNATURES_MISSES += 1
+                cache_misses.inc()
         ok = verify_encoded(self._encoded_body(), self.signature,
                             self.signer)
         if ok and sealed:

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from ..errors import CryptoError, InvalidSignature
+from ..obs.runtime import telemetry
 from ..serialization import canonical_encode
 from .hashing import DOMAIN_KEY, DOMAIN_SIG, hash_bytes
 
@@ -132,18 +133,40 @@ def verify(message: Any, tag: bytes, public: PublicKey) -> bool:
 _VERIFY_CACHE: OrderedDict[tuple[bytes, bytes, bytes], bool] = OrderedDict()
 _VERIFY_CACHE_MAX = 8192
 _VERIFY_CACHE_LOCK = threading.Lock()
-_VERIFY_CACHE_HITS = 0
-_VERIFY_CACHE_MISSES = 0
+
+# Hit/miss counters live in the telemetry registry (ISSUE 7) so an
+# ops/metrics snapshot sees them; `cache_stats()` keeps its old shape by
+# reading them back.  Handles are cached per default-telemetry instance
+# — the identity check keeps the probe off the registry's label path,
+# and a test that resets the default picks up fresh counters.
+_COUNTER_HANDLES: tuple | None = None
+
+
+def _cache_counters():
+    global _COUNTER_HANDLES
+    tel = telemetry()
+    handles = _COUNTER_HANDLES
+    if handles is None or handles[0] is not tel:
+        registry = tel.registry
+        handles = (
+            tel,
+            registry.counter("sig_verify_cache_hits_total",
+                             cache="verify_encoded"),
+            registry.counter("sig_verify_cache_misses_total",
+                             cache="verify_encoded"),
+        )
+        _COUNTER_HANDLES = handles
+    return handles
 
 
 def _verify_cache_hit(key: tuple[bytes, bytes, bytes]) -> bool:
-    global _VERIFY_CACHE_HITS, _VERIFY_CACHE_MISSES
+    _, hits, misses = _cache_counters()
     with _VERIFY_CACHE_LOCK:
         if _VERIFY_CACHE.get(key):
             _VERIFY_CACHE.move_to_end(key)
-            _VERIFY_CACHE_HITS += 1
+            hits.inc()
             return True
-        _VERIFY_CACHE_MISSES += 1
+        misses.inc()
     return False
 
 
@@ -169,10 +192,11 @@ def cache_stats() -> dict:
     the parent (see :func:`record_verified`), not silently run cold."""
     from ..chain import transaction as tx_mod
 
+    _, hits, misses = _cache_counters()
     with _VERIFY_CACHE_LOCK:
         verify_encoded_stats = {
-            "hits": _VERIFY_CACHE_HITS,
-            "misses": _VERIFY_CACHE_MISSES,
+            "hits": hits.value,
+            "misses": misses.value,
             "size": len(_VERIFY_CACHE),
             "capacity": _VERIFY_CACHE_MAX,
         }
@@ -184,12 +208,12 @@ def cache_stats() -> dict:
 
 def reset_cache_stats() -> None:
     """Zero the hit/miss counters (cache contents are untouched)."""
-    global _VERIFY_CACHE_HITS, _VERIFY_CACHE_MISSES
     from ..chain import transaction as tx_mod
 
+    _, hits, misses = _cache_counters()
     with _VERIFY_CACHE_LOCK:
-        _VERIFY_CACHE_HITS = 0
-        _VERIFY_CACHE_MISSES = 0
+        hits.reset()
+        misses.reset()
     tx_mod._reset_signature_cache_stats()
 
 

@@ -96,6 +96,11 @@ class ProcessExecPool:
         worker.epoch = self._epochs[widx]
         if worker.epoch > 1:
             self.respawns += 1
+            from ..obs.runtime import telemetry
+
+            telemetry().registry.counter(
+                "exec_worker_respawns_total"
+            ).inc()
         self._workers[widx] = worker
         return worker
 

@@ -36,6 +36,8 @@ from typing import Any
 
 from ..chain.blockchain import default_executor
 from ..chain.state import StateStore
+from ..obs.runtime import reset_default_telemetry, telemetry
+from ..obs.trace import TraceContext
 from ..persist.codec import (
     canonical_decode,
     decode_block,
@@ -93,6 +95,19 @@ def _reset_forked_caches() -> None:
     sig_mod._VERIFY_CACHE.clear()
     tx_mod._VERIFIED_SIGNATURES_LOCK = threading.Lock()
     tx_mod._VERIFIED_SIGNATURES.clear()
+    # Fresh telemetry too: the fork copied the parent's registry mid-
+    # flight; worker counters must start at zero so the deltas shipped
+    # back with each reply (see _telemetry_payload) are the worker's own.
+    reset_default_telemetry()
+
+
+def _telemetry_payload() -> dict:
+    """This worker's telemetry delta since the last reply: finished
+    span rows plus counter increments, both canonical-encodable.  The
+    parent merges them (``ShardedChain._merge_worker_telemetry``)."""
+    tel = telemetry()
+    return {"spans": tel.tracer.span_rows(drain=True),
+            "counters": tel.registry.drain_counter_deltas()}
 
 
 def _handle_verify(job: dict) -> dict:
@@ -150,29 +165,41 @@ def _handle_exec(job: dict, replicas: dict[str, _ShardReplica],
     require_signature = bool(job["require_signatures"])
     receipts_out: list[list[bytes]] = []
     deltas_out: list[list[list[Any]]] = []
+    tel = telemetry()
+    tracer = tel.tracer
+    trace_ctx = TraceContext.from_wire(job.get("trace"))
+    txs_executed = 0
     try:
-        for frame in job["blocks"]:
-            block = decode_block(frame)
-            block.verify_structure()
-            for tx in block.transactions:
-                tx.validate(require_signature=require_signature)
-            snap = replica.state.snapshot()
-            bodies: list[bytes] = []
-            try:
+        # The worker-side half of the round trace: parented on the
+        # context shipped in the job frame, so the merged span tree
+        # chains submit → worker exec → parent commit.
+        with tracer.span("exec.apply_blocks", parent=trace_ctx) as span:
+            span.set_attr("chain", chain_id)
+            span.set_attr("blocks", len(job["blocks"]))
+            for frame in job["blocks"]:
+                block = decode_block(frame)
+                block.verify_structure()
                 for tx in block.transactions:
-                    receipt = default_executor(tx, replica.state,
-                                               replica.shim)
-                    receipt.block_height = block.height
-                    bodies.append(encode_receipt(receipt))
-            except BaseException:
-                replica.state.rollback(snap)
-                raise
-            deltas_out.append(
-                [[ns, key, present, value] for ns, key, present, value
-                 in replica.state.drain_snapshot_delta(snap)]
-            )
-            receipts_out.append(bodies)
-            replica.height = block.height
+                    tx.validate(require_signature=require_signature)
+                snap = replica.state.snapshot()
+                bodies: list[bytes] = []
+                try:
+                    for tx in block.transactions:
+                        receipt = default_executor(tx, replica.state,
+                                                   replica.shim)
+                        receipt.block_height = block.height
+                        bodies.append(encode_receipt(receipt))
+                except BaseException:
+                    replica.state.rollback(snap)
+                    raise
+                deltas_out.append(
+                    [[ns, key, present, value]
+                     for ns, key, present, value
+                     in replica.state.drain_snapshot_delta(snap)]
+                )
+                receipts_out.append(bodies)
+                replica.height = block.height
+                txs_executed += len(block.transactions)
     except BaseException as exc:  # noqa: BLE001 - reported, not fatal
         # Earlier blocks of the group already mutated the replica; drop
         # it so the next job re-syncs rather than executing on a state
@@ -180,6 +207,10 @@ def _handle_exec(job: dict, replicas: dict[str, _ShardReplica],
         replicas.pop(chain_id, None)
         return {"status": "error",
                 "error": f"{type(exc).__name__}: {exc}"}
+    finally:
+        registry = tel.registry
+        registry.counter("exec_worker_blocks_total").inc(len(receipts_out))
+        registry.counter("exec_worker_txs_total").inc(txs_executed)
     return {
         "status": "ok",
         "receipts": receipts_out,
@@ -213,6 +244,7 @@ def worker_main(conn, runtime_factory=None) -> None:
                 response = {"status": "ok", "pid": os.getpid()}
             elif kind == "exec":
                 response = _handle_exec(job, replicas, runtime_factory)
+                response["telemetry"] = _telemetry_payload()
             elif kind == "verify":
                 response = _handle_verify(job)
             elif kind == "probe_storage":

@@ -10,11 +10,14 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+import time
+
 from ..chain.transaction import Transaction
 from ..crypto import signatures as sig
 from ..crypto.hashing import DOMAIN_SIG, hash_bytes
 from ..crypto.signatures import verify_encoded_batch
 from ..errors import CryptoError, InvalidTransaction, QueueFull, ShardError
+from ..obs.runtime import telemetry as default_telemetry
 from ..sharding.shardchain import RoundReport, ShardedChain, SubmitReport
 
 # Admission batches below this size verify inline: a worker round-trip
@@ -118,6 +121,7 @@ class IngestPipeline:
         admission_batch: int | None = None,
         verify_signatures: bool = False,
         max_blocks_per_round: int = 8,
+        telemetry=None,
     ) -> None:
         if queue_capacity < 1:
             raise ShardError("queue_capacity must be >= 1")
@@ -143,6 +147,54 @@ class IngestPipeline:
         self.total_invalid = 0
         self.total_submitted = 0
         self.total_duplicates = 0
+        # Telemetry: the hot submit path keeps its plain-int counters
+        # (the collector below publishes them at snapshot time) and pays
+        # only a sampling countdown; per-batch pump/verify paths observe
+        # histograms directly.  Traces: a sampled submit opens a root
+        # span and binds its context to the tx id, which seal_round
+        # picks up so worker-side exec spans and the persist fsync span
+        # descend from the submit.
+        self.telemetry = telemetry if telemetry is not None \
+            else default_telemetry()
+        registry = self.telemetry.registry
+        self._tracer = self.telemetry.tracer
+        # Per-tx submit samples against an inline threshold (seeded from
+        # the tracer's rate) instead of calling Tracer.should_sample():
+        # at ~1µs per in-memory submit even the bound-method call is a
+        # measurable fraction of the overhead budget.  A submit traces
+        # when total_submitted reaches _next_sample; sampling-off parks
+        # the threshold at +inf, so the disabled and the
+        # unsampled-enabled paths execute the *same* compare-and-branch
+        # and cost identically.
+        self._sample_every = self._tracer.sample_every
+        self._next_sample = 1 if self._sample_every else float("inf")
+        self._m_admission_s = registry.histogram("ingest_admission_seconds")
+        self._m_verify_s = registry.histogram("ingest_verify_seconds")
+        self._m_quarantined = registry.counter("ingest_quarantined_total")
+        registry.register_collector(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Publish the queues' plain-int counters into the registry
+        (pull model: the submit path never touches the registry)."""
+        registry = self.telemetry.registry
+        for q in self._queues:
+            shard = q.shard_id
+            registry.gauge("ingest_queue_depth", shard=shard).set(len(q))
+            registry.gauge("ingest_queue_high_watermark",
+                           shard=shard).set(q.high_watermark)
+            registry.counter("ingest_enqueued_total",
+                             shard=shard).value = q.total_enqueued
+            registry.counter("ingest_admitted_total",
+                             shard=shard).value = q.total_admitted
+            registry.counter("ingest_queuefull_total",
+                             shard=shard).value = q.total_rejected
+            registry.counter("ingest_deferred_total",
+                             shard=shard).value = q.total_deferred
+        registry.counter("ingest_submitted_total").value = \
+            self.total_submitted
+        registry.counter("ingest_duplicates_total").value = \
+            self.total_duplicates
+        registry.counter("ingest_invalid_total").value = self.total_invalid
 
     # ------------------------------------------------------------------
     # Submission (capture-source side; never blocks on admission)
@@ -167,6 +219,13 @@ class IngestPipeline:
         queue.items.append(tx)
         queue.total_enqueued += 1
         self.total_submitted += 1
+        if self.total_submitted >= self._next_sample:
+            self._next_sample = self.total_submitted + self._sample_every
+            with self._tracer.root_span("ingest.submit",
+                                        sampled=True) as span:
+                span.set_attr("shard", shard_id)
+                span.set_attr("tx_id", tx.tx_id)
+            self._tracer.bind_tx(tx.tx_id, span.ctx)
         return shard_id
 
     def submit_many(self, txs: Iterable[Transaction]) -> SubmitReport:
@@ -188,6 +247,14 @@ class IngestPipeline:
             self.total_submitted += len(taken)
             if taken:
                 report.queued[shard_id] = len(taken)
+                # One sampling decision per shard bucket, not per tx:
+                # a sampled batch traces through its first transaction.
+                if self._tracer.should_sample():
+                    with self._tracer.root_span("ingest.submit_many",
+                                                sampled=True) as span:
+                        span.set_attr("shard", shard_id)
+                        span.set_attr("batch", len(taken))
+                    self._tracer.bind_tx(taken[0].tx_id, span.ctx)
             if overflow:
                 queue.total_rejected += len(overflow)
                 signal = self._signal_for(queue)
@@ -286,6 +353,7 @@ class IngestPipeline:
         for tx in txs:
             self.invalid_txs.append(tx)
             self.total_invalid += 1
+            self._m_quarantined.inc()
 
     def _admit(self, queue: _ShardQueue, mempool,
                batch: list[Transaction]) -> tuple[int, int]:
@@ -344,8 +412,12 @@ class IngestPipeline:
                 batch = queue.take(room)
                 if not batch:
                     break
+                batch_t0 = time.perf_counter()
                 if self.verify_signatures:
                     batch, bad = self._verify_batch(batch)
+                    self._m_verify_s.observe(
+                        time.perf_counter() - batch_t0
+                    )
                     if bad:
                         self._quarantine(bad)
                 if sharded._locks:
@@ -358,6 +430,9 @@ class IngestPipeline:
                     batch = kept
                 if batch:
                     added, duplicates = self._admit(queue, mempool, batch)
+                    self._m_admission_s.observe(
+                        time.perf_counter() - batch_t0
+                    )
                     accepted += added
                     report.duplicates += duplicates
                     self.total_duplicates += duplicates

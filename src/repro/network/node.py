@@ -37,9 +37,14 @@ class ChainNode:
         self.gossip: GossipProtocol | None = None
         self._sharded = None       # set by serve_shards()
         self._sync_server = None   # set by serve_sync()
+        self._ops_telemetry = None   # set by serve_ops()
+        self._ops_health = None
+        self._ops_responses: dict[str, dict] = {}
+        self._ops_seq = 0
         net.register(node_id, self.dispatch, region=region)
         self.on_topic("tx", self._handle_tx)
         self.on_topic("block", self._handle_block)
+        self.on_topic("ops/metrics", self._handle_ops)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -99,9 +104,28 @@ class ChainNode:
     # ------------------------------------------------------------------
     def serve_shards(self, sharded_chain) -> None:
         """Become a shard gateway: route ``"shard_tx"`` messages into a
-        :class:`~repro.sharding.shardchain.ShardedChain`."""
+        :class:`~repro.sharding.shardchain.ShardedChain`.  Also starts
+        answering ``ops/metrics`` with the facade's telemetry snapshot
+        and :meth:`~repro.sharding.shardchain.ShardedChain.health_report`
+        rollup."""
         self._sharded = sharded_chain
         self.on_topic("shard_tx", self._handle_shard_tx)
+        self.serve_ops(telemetry=sharded_chain.telemetry,
+                       health=sharded_chain.health_report)
+
+    def serve_ops(self, telemetry=None, health=None) -> None:
+        """Answer ``ops/metrics`` requests with a metrics snapshot from
+        ``telemetry`` (default: the process default) plus, when given,
+        the result of the zero-arg ``health`` callable — any
+        canonical-encodable mapping (a facade's ``health_report``, a
+        replica's sync status)."""
+        if telemetry is None:
+            from ..obs.runtime import telemetry as default_telemetry
+
+            telemetry = default_telemetry()
+        self._ops_telemetry = telemetry
+        if health is not None:
+            self._ops_health = health
 
     def serve_sync(self, server) -> None:
         """Become a snapshot-sync peer: answer ``sync/offer``,
@@ -132,6 +156,64 @@ class ChainNode:
         self.net.send(NetMessage(sender=self.node_id,
                                  recipient=msg.sender,
                                  topic=msg.topic, body=resp))
+
+    def _handle_ops(self, msg: NetMessage) -> None:
+        """Both halves of the ``ops/metrics`` req/resp exchange (one
+        node may serve and request): requests are answered iff
+        :meth:`serve_ops` armed this node; responses are stashed for the
+        :meth:`request_ops` that sent them."""
+        body = dict(msg.body)
+        if body.get("resp") and body.get("req_id"):
+            self._ops_responses[body["req_id"]] = body
+            return
+        if not body.get("req") or self._ops_telemetry is None:
+            return
+        try:
+            resp: dict = {
+                "node": self.node_id,
+                "snapshot": self._ops_telemetry.registry.snapshot(),
+            }
+            if self._ops_health is not None:
+                resp["health"] = dict(self._ops_health())
+        except Exception as exc:  # noqa: BLE001 - never kill the loop
+            resp = {
+                "error": {"reason": "ops_error"},
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+        resp["req_id"] = body.get("req_id")
+        resp["resp"] = True
+        self.net.send(NetMessage(sender=self.node_id,
+                                 recipient=msg.sender,
+                                 topic="ops/metrics", body=resp))
+
+    def request_ops(self, peer: str, max_retries: int = 3) -> dict:
+        """Client side: fetch ``peer``'s metrics snapshot (and health
+        rollup, if it serves one) over the network.  Stop-and-wait with
+        retries, like the sync client; raises :class:`SyncError` when
+        the peer never answers or answered with an error."""
+        req_id = f"{self.node_id}:ops:{self._ops_seq}"
+        self._ops_seq += 1
+        for _attempt in range(max_retries + 1):
+            self.net.send(NetMessage(
+                sender=self.node_id, recipient=peer,
+                topic="ops/metrics",
+                body={"req": True, "req_id": req_id},
+            ))
+            self.net.run()
+            resp = self._ops_responses.pop(req_id, None)
+            if resp is None:
+                continue
+            if "error" in resp:
+                raise SyncError(
+                    f"peer {peer} refused ops/metrics: "
+                    f"{resp.get('message', '')}",
+                    reason=str(resp["error"].get("reason", "peer_error")),
+                )
+            return resp
+        raise SyncError(
+            f"peer {peer} did not answer ops/metrics after "
+            f"{max_retries + 1} attempts", reason="peer_unresponsive",
+        )
 
     def send_shard_transaction(self, gateway_id: str, tx: Transaction) -> bool:
         """Client-side: submit a transaction to a shard gateway node."""

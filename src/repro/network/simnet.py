@@ -19,6 +19,7 @@ from typing import Callable, Iterable
 
 from ..clock import SimClock
 from ..errors import NetworkError
+from ..obs.runtime import telemetry as default_telemetry
 from .message import NetMessage
 
 Handler = Callable[[NetMessage], None]
@@ -90,7 +91,14 @@ class NetStats:
 
 
 class SimNet:
-    """The network fabric nodes register with."""
+    """The network fabric nodes register with.
+
+    Per-instance counters stay on :attr:`stats` (the accessor the
+    benchmarks read); every update is mirrored into the telemetry
+    registry with a ``topic`` label — drops, duplicates, and reorders
+    attributable per topic from one ``snapshot()`` — and a collector
+    publishes the pending-queue depth gauge.
+    """
 
     def __init__(
         self,
@@ -98,6 +106,7 @@ class SimNet:
         drop_rate: float = 0.0,
         seed: int = 0,
         clock: SimClock | None = None,
+        telemetry=None,
     ) -> None:
         if not 0.0 <= drop_rate < 1.0:
             raise ValueError("drop_rate must be in [0, 1)")
@@ -106,6 +115,16 @@ class SimNet:
         self.rng = random.Random(seed)
         self.clock = clock or SimClock()
         self.stats = NetStats()
+        self.telemetry = telemetry if telemetry is not None \
+            else default_telemetry()
+        registry = self.telemetry.registry
+        self._m_delivered = registry.counter("net_messages_delivered_total")
+        self._m_bytes = registry.counter("net_bytes_sent_total")
+        # (sent, dropped, duplicated, reordered) counter handles per
+        # topic, cached so a send pays dict probes, not label hashing.
+        self._m_by_topic: dict[str, tuple] = {}
+        registry.gauge("net_pending_messages")
+        registry.register_collector(self._collect_metrics)
         self._handlers: dict[str, Handler] = {}
         self._regions: dict[str, str] = {}
         self._partitions: list[frozenset[str]] = []
@@ -113,6 +132,22 @@ class SimNet:
         # Event queue entries: (deliver_at, seq, message)
         self._queue: list[tuple[int, int, NetMessage]] = []
         self._seq = 0
+
+    def _collect_metrics(self) -> None:
+        self.telemetry.registry.gauge("net_pending_messages").set(
+            len(self._queue)
+        )
+
+    def _topic_counters(self, topic: str) -> tuple:
+        handles = self._m_by_topic.get(topic)
+        if handles is None:
+            registry = self.telemetry.registry
+            handles = tuple(
+                registry.counter(f"net_messages_{verb}_total", topic=topic)
+                for verb in ("sent", "dropped", "duplicated", "reordered")
+            )
+            self._m_by_topic[topic] = handles
+        return handles
 
     # ------------------------------------------------------------------
     # Topology
@@ -180,16 +215,23 @@ class SimNet:
         if msg.recipient not in self._handlers:
             raise NetworkError(f"unknown recipient: {msg.recipient}")
         self.stats.record_send(msg)
+        sent, dropped, duplicated, reordered = \
+            self._topic_counters(msg.topic)
+        sent.inc()
+        self._m_bytes.inc(msg.size_bytes)
         if not self._can_reach(msg.sender, msg.recipient):
             self.stats.messages_dropped += 1
+            dropped.inc()
             return False
         if self.drop_rate > 0 and self.rng.random() < self.drop_rate:
             self.stats.messages_dropped += 1
+            dropped.inc()
             return False
         faults = self._topic_faults.get(msg.topic)
         if faults is not None and faults.drop > 0 \
                 and self.rng.random() < faults.drop:
             self.stats.messages_dropped += 1
+            dropped.inc()
             return False
         same_region = (
             self._regions.get(msg.sender) == self._regions.get(msg.recipient)
@@ -199,6 +241,7 @@ class SimNet:
             if faults.reorder > 0 and self.rng.random() < faults.reorder:
                 latency += faults.reorder_delay
                 self.stats.messages_reordered += 1
+                reordered.inc()
             if faults.duplicate > 0 and self.rng.random() < faults.duplicate:
                 extra = self.latency.sample(self.rng, same_region)
                 heapq.heappush(
@@ -207,6 +250,7 @@ class SimNet:
                 )
                 self._seq += 1
                 self.stats.messages_duplicated += 1
+                duplicated.inc()
         deliver_at = self.clock.now() + latency
         heapq.heappush(self._queue, (deliver_at, self._seq, msg))
         self._seq += 1
@@ -240,9 +284,11 @@ class SimNet:
         handler = self._handlers.get(msg.recipient)
         if handler is None:  # node left after the send
             self.stats.messages_dropped += 1
+            self._topic_counters(msg.topic)[1].inc()
             return None
         handler(msg)
         self.stats.messages_delivered += 1
+        self._m_delivered.inc()
         return msg
 
     def run(self, max_messages: int | None = None, until: int | None = None) -> int:

@@ -1003,12 +1003,23 @@ class DurableStorage(MetaStore):
         compacted = self.compact(
             which="both" if compact_records else "blocks")
         self.sync()
-        return {
+        stats = {
             "archived": archived,
             "compacted": compacted,
             "bytes_before": bytes_before,
             "bytes_after": self.disk_usage(),
         }
+        from ..obs.runtime import telemetry
+
+        registry = telemetry().registry
+        registry.counter("tier_passes_total").inc()
+        registry.counter("tier_blocks_archived_total").inc(
+            archived["archived"]
+        )
+        registry.counter("tier_bytes_reclaimed_total").inc(
+            max(0, bytes_before - stats["bytes_after"])
+        )
+        return stats
 
     # ------------------------------------------------------------------
     # Meta

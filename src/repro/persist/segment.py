@@ -24,11 +24,45 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from ..errors import StorageError
+
+# Telemetry handles, cached per default-telemetry instance (same
+# pattern as repro.crypto.signatures).  Every durability point routes
+# through _timed_fsync: the fsync latency histogram is the persist
+# layer's headline metric, and the "persist.fsync" span implicitly
+# nests under whatever seal/commit span is active on this thread.
+_TELEMETRY_HANDLES: tuple | None = None
+
+
+def _fsync_instruments() -> tuple:
+    global _TELEMETRY_HANDLES
+    from ..obs.runtime import telemetry
+
+    tel = telemetry()
+    handles = _TELEMETRY_HANDLES
+    if handles is None or handles[0] is not tel:
+        handles = (
+            tel,
+            tel.registry.histogram("persist_fsync_seconds"),
+            tel.registry.counter("persist_fsyncs_total"),
+            tel.tracer,
+        )
+        _TELEMETRY_HANDLES = handles
+    return handles
+
+
+def _timed_fsync(fd: int) -> None:
+    _, hist, count, tracer = _fsync_instruments()
+    with tracer.span("persist.fsync"):
+        t0 = time.perf_counter()
+        os.fsync(fd)
+        hist.observe(time.perf_counter() - t0)
+    count.inc()
 
 _LEN = struct.Struct("<I")
 FRAME_OVERHEAD = 8          # 4-byte length + 4-byte CRC
@@ -177,7 +211,7 @@ class SegmentLog:
         """Flush + fsync + close the live segment and start the next."""
         fh = self._open_for_append()
         fh.flush()
-        os.fsync(fh.fileno())
+        _timed_fsync(fh.fileno())
         fh.close()
         self._write_fh = None
         self._current += 1
@@ -280,18 +314,18 @@ class SegmentLog:
         fh.flush()
         self._current_size += len(data)
         if fsync:
-            os.fsync(fh.fileno())
+            _timed_fsync(fh.fileno())
 
     def sync(self) -> None:
         """Flush + fsync the live segment (checkpoint durability)."""
         if self._write_fh is not None:
             self._write_fh.flush()
-            os.fsync(self._write_fh.fileno())
+            _timed_fsync(self._write_fh.fileno())
 
     def close(self) -> None:
         if self._write_fh is not None:
             self._write_fh.flush()
-            os.fsync(self._write_fh.fileno())
+            _timed_fsync(self._write_fh.fileno())
             self._write_fh.close()
             self._write_fh = None
 

@@ -29,6 +29,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from ..chain import Blockchain, ChainParams, Mempool, Transaction
 from ..chain.block import Block
 from ..errors import QueueFull, ShardError
+from ..obs.runtime import telemetry as default_telemetry
 from ..provenance.anchor import AnchorReceipt, AnchorService
 from ..provenance.query import ProvenanceQueryEngine, QueryCache
 from ..storage.provdb import ProvenanceDatabase
@@ -241,6 +242,7 @@ class ShardedChain:
         executor: str = "auto",
         exec_workers: int | None = None,
         contract_runtime_factory=None,
+        telemetry=None,
     ) -> None:
         if n_shards < 1:
             raise ShardError("need at least one shard")
@@ -338,6 +340,26 @@ class ShardedChain:
         self._worker_shard_state: dict[int, tuple[int, int, int, bytes]] = {}
         # EWMA of recent round wall time; feeds retry-after estimates.
         self._round_pace_s = 0.0
+        # Telemetry (ISSUE 7): spans per shard round / beacon commit,
+        # latency histograms on the per-round paths (cheap there — one
+        # observe per shard per round), and a collector publishing the
+        # per-shard load gauges the resharding/autoscaler consumes.
+        # The most recent RoundReport backs health_report()'s
+        # slowest-shard attribution.
+        self.telemetry = telemetry if telemetry is not None \
+            else default_telemetry()
+        registry = self.telemetry.registry
+        self._tracer = self.telemetry.tracer
+        self._m_seal_shard_s = registry.histogram("seal_shard_seconds")
+        self._m_seal_round_s = registry.histogram("seal_round_seconds")
+        self._m_beacon_s = registry.histogram("seal_beacon_seconds")
+        self._m_txs_sealed = registry.counter("txs_sealed_total")
+        self._m_exec_offloaded = registry.counter(
+            "exec_rounds_offloaded_total"
+        )
+        self._m_exec_fallback = registry.counter("exec_fallback_total")
+        registry.register_collector(self._collect_metrics)
+        self._last_round: RoundReport | None = None
         if beacon_storage is not None:
             beacon_state = beacon_storage.get_meta(self._BEACON_META_KEY)
             if beacon_state is not None:
@@ -355,6 +377,82 @@ class ShardedChain:
                 # safely aborts the in-flight transfer.  (Durable transfer
                 # state machines are the ROADMAP's 2PC-recovery item.)
                 self._locks = {}
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _collect_metrics(self) -> None:
+        """Registry collector: publish per-shard load gauges at snapshot
+        time.  Nothing here runs on a hot path — the resharding planner
+        and ops surfaces read these from ``snapshot()``."""
+        registry = self.telemetry.registry
+        for shard in self.shards:
+            sid = str(shard.shard_id)
+            registry.gauge("shard_mempool_backlog", shard=sid).set(
+                len(shard.mempool)
+            )
+            registry.gauge("shard_height", shard=sid).set(
+                shard.chain.height
+            )
+            registry.gauge("shard_anchored_height", shard=sid).set(
+                self._anchored_height[shard.shard_id]
+            )
+        registry.gauge("crossshard_locks_active").set(len(self._locks))
+        registry.gauge("round_pace_seconds").set(self._round_pace_s)
+        registry.counter("rounds_sealed_total").value = self.rounds_sealed
+
+    def _round_trace_ctx(self, blocks: list[Block]):
+        """Resolve the trace context for a shard's round: the context
+        bound at ``pipeline.submit`` for the first sealed transaction
+        that has one.  Cheap when tracing is idle (one attribute read)."""
+        tracer = self._tracer
+        if not blocks or not tracer.has_bound_txs:
+            return None
+        return tracer.take_tx_ctx(
+            tx.tx_id for block in blocks for tx in block.transactions
+        )
+
+    def health_report(self) -> dict:
+        """Operator rollup: per-shard backlog and heights, round pace,
+        and slowest-shard attribution for the most recent sealed round.
+        Every key is canonical-encodable (shard ids are strings), so the
+        gateway's ``ops/metrics`` topic ships it over SimNet verbatim."""
+        per_shard: dict[str, dict] = {}
+        for shard in self.shards:
+            sid = shard.shard_id
+            per_shard[str(sid)] = {
+                "height": shard.chain.height,
+                "anchored_height": self._anchored_height[sid],
+                "mempool_backlog": len(shard.mempool),
+            }
+        report: dict[str, Any] = {
+            "n_shards": len(self.shards),
+            "rounds_sealed": self.rounds_sealed,
+            "round_pace_s": self._round_pace_s,
+            "mempool_backlog_total": self.mempool_backlog,
+            "locks_active": len(self._locks),
+            "per_shard": per_shard,
+            "slowest_shard": None,
+            "slowest_seal_s": 0.0,
+            "critical_path_s": 0.0,
+        }
+        last = self._last_round
+        if last is not None:
+            report["last_round_no"] = last.round_no
+            report["last_round_txs"] = last.txs_sealed
+            report["critical_path_s"] = last.critical_path_s
+            slowest_sid = None
+            slowest_s = 0.0
+            for sid, stats in last.per_shard.items():
+                per_shard[str(sid)]["last_seal_s"] = stats.duration_s
+                per_shard[str(sid)]["last_txs_sealed"] = stats.txs_sealed
+                if stats.duration_s >= slowest_s:
+                    slowest_sid, slowest_s = sid, stats.duration_s
+            if slowest_sid is not None:
+                # String, like the per_shard keys it indexes into.
+                report["slowest_shard"] = str(slowest_sid)
+                report["slowest_seal_s"] = slowest_s
+        return report
 
     # ------------------------------------------------------------------
     # Durability
@@ -751,8 +849,13 @@ class ShardedChain:
         new_blocks, txs_sealed = self._pop_round_blocks(
             shard_id, ts, blocks_per_shard
         )
-        self._append_popped_blocks(shard_id, new_blocks)
-        entries = self._collect_round_entries(shard_id)
+        ctx = self._round_trace_ctx(new_blocks)
+        with self._tracer.span("shard.seal_round", parent=ctx) as span:
+            span.set_attr("shard", shard_id)
+            span.set_attr("txs", txs_sealed)
+            self._append_popped_blocks(shard_id, new_blocks)
+            entries = self._collect_round_entries(shard_id)
+        self._m_seal_shard_s.observe(time.perf_counter() - t0)
         stats = ShardSealStats(
             txs_sealed=txs_sealed,
             blocks_produced=len(entries),
@@ -798,7 +901,8 @@ class ShardedChain:
         return pool
 
     def _build_exec_job(self, shard_id: int, blocks: list[Block],
-                        frames: list[bytes], widx: int, pool) -> bytes:
+                        frames: list[bytes], widx: int, pool,
+                        trace_ctx=None) -> bytes:
         """Encode one shard's round as an exec job, shipping a full
         state image iff the worker's replica cannot be current — wrong
         worker slot, respawned worker (epoch bump), or parent-side state
@@ -818,6 +922,11 @@ class ShardedChain:
             "blocks": frames,
             "require_signatures": shard.chain.params.require_signatures,
         }
+        if trace_ctx is not None and trace_ctx.sampled:
+            # Trace context rides the canonical job frame; the worker's
+            # exec span re-parents onto it and its rows merge back with
+            # the reply (see repro.exec.worker).
+            job["trace"] = trace_ctx.to_wire()
         recorded = self._worker_shard_state.get(shard_id)
         if recorded != (widx, pool.epoch(widx), base_height, base_root):
             job["state"] = [
@@ -855,6 +964,10 @@ class ShardedChain:
                 reply = canonical_decode(response)
             except Exception:  # noqa: BLE001 - treat as worker failure
                 reply = None
+        if reply is not None:
+            # Merge the worker's telemetry delta whatever the status —
+            # an error reply still did (and should account for) work.
+            self._merge_worker_telemetry(reply.get("telemetry"))
         if reply is not None and reply.get("status") == "ok":
             try:
                 chain = shard.chain
@@ -899,8 +1012,26 @@ class ShardedChain:
         # Worker died, replied need_state/error, or its result failed to
         # apply: forget its replica and run the serial path — identical
         # blocks, identical state transitions, just single-process.
+        self._m_exec_fallback.inc()
         self._worker_shard_state.pop(shard_id, None)
         self._append_popped_blocks(shard_id, blocks)
+
+    def _merge_worker_telemetry(self, payload) -> None:
+        """Fold a worker reply's ``telemetry`` dict (span rows plus
+        counter deltas, both canonical-encodable) into this process's
+        registry and tracer.  Absent or malformed payloads are ignored
+        — telemetry must never fail a commit."""
+        if not isinstance(payload, dict):
+            return
+        try:
+            spans = payload.get("spans")
+            if spans:
+                self._tracer.ingest_rows(spans)
+            deltas = payload.get("counters")
+            if deltas:
+                self.telemetry.registry.merge_counter_deltas(deltas)
+        except Exception:  # noqa: BLE001 - observability is best-effort
+            pass
 
     def _seal_round_process(
         self, selected: list[int], ts: int, blocks_per_shard: int,
@@ -926,31 +1057,38 @@ class ShardedChain:
                 shard_id, ts, blocks_per_shard
             )
             widx = shard_id % pool.n_workers
-            # [blocks, frames, txs_sealed, widx, active_s]
-            entry = [blocks, [], txs_sealed, widx, 0.0]
+            ctx = self._round_trace_ctx(blocks)
+            # [blocks, frames, txs_sealed, widx, active_s, trace_ctx]
+            entry = [blocks, [], txs_sealed, widx, 0.0, ctx]
             if blocks:
                 entry[1] = [encode_block(block) for block in blocks]
                 jobs.append(
                     (widx,
                      self._build_exec_job(shard_id, blocks, entry[1],
-                                          widx, pool))
+                                          widx, pool, trace_ctx=ctx))
                 )
                 job_shards.append(shard_id)
+                self._m_exec_offloaded.inc()
             entry[4] = time.perf_counter() - t0
             prepared[shard_id] = entry
         for job_index, response in pool.run(jobs):
             shard_id = job_shards[job_index]
             entry = prepared[shard_id]
             t0 = time.perf_counter()
-            self._apply_exec_response(
-                shard_id, entry[0], entry[1], response, entry[3], pool
-            )
+            with self._tracer.span("shard.commit",
+                                   parent=entry[5]) as span:
+                span.set_attr("shard", shard_id)
+                self._apply_exec_response(
+                    shard_id, entry[0], entry[1], response, entry[3],
+                    pool,
+                )
             entry[4] += time.perf_counter() - t0
         results: list[tuple[ShardSealStats, list, int]] = []
         for shard_id in selected:
             entry = prepared[shard_id]
             shard = self.shards[shard_id]
             entries = self._collect_round_entries(shard_id)
+            self._m_seal_shard_s.observe(entry[4])
             stats = ShardSealStats(
                 txs_sealed=entry[2],
                 blocks_produced=len(entries),
@@ -1014,38 +1152,50 @@ class ShardedChain:
         round_t0 = time.perf_counter()
         per_shard: dict[int, ShardSealStats] = {}
         entries: list[tuple[int, int, bytes, bytes]] = []
-        if mode == "process":
-            results = self._seal_round_process(
-                selected, ts, blocks_per_shard, workers
-            )
-        elif mode == "thread" and len(selected) > 1:
-            futures = [
-                self._get_seal_pool().submit(
-                    self._seal_shard_round, sid, ts, blocks_per_shard
+        with self._tracer.root_span("round.seal") as round_span:
+            round_span.set_attr("round", self.rounds_sealed)
+            round_span.set_attr("mode", mode)
+            if mode == "process":
+                results = self._seal_round_process(
+                    selected, ts, blocks_per_shard, workers
                 )
-                for sid in selected
-            ]
-            # Wait for EVERY worker before surfacing a failure: raising
-            # while siblings still run would let a retry round start a
-            # second task on a shard whose first task is mid-mutation.
-            futures_wait(futures)
-            first_error = next(
-                (f.exception() for f in futures
-                 if f.exception() is not None), None,
-            )
-            if first_error is not None:
-                raise first_error
-            results = [future.result() for future in futures]
-        else:
-            results = [self._seal_shard_round(sid, ts, blocks_per_shard)
-                       for sid in selected]
-        for shard_id, (stats, shard_entries, _) in zip(selected, results):
-            per_shard[shard_id] = stats
-            entries.extend(shard_entries)
-        t0 = time.perf_counter()
-        beacon_receipt = (self.beacon.anchor_round(entries, timestamp=ts)
-                          if entries else None)
-        beacon_s = time.perf_counter() - t0
+            elif mode == "thread" and len(selected) > 1:
+                futures = [
+                    self._get_seal_pool().submit(
+                        self._seal_shard_round, sid, ts, blocks_per_shard
+                    )
+                    for sid in selected
+                ]
+                # Wait for EVERY worker before surfacing a failure:
+                # raising while siblings still run would let a retry
+                # round start a second task on a shard whose first task
+                # is mid-mutation.
+                futures_wait(futures)
+                first_error = next(
+                    (f.exception() for f in futures
+                     if f.exception() is not None), None,
+                )
+                if first_error is not None:
+                    raise first_error
+                results = [future.result() for future in futures]
+            else:
+                results = [
+                    self._seal_shard_round(sid, ts, blocks_per_shard)
+                    for sid in selected
+                ]
+            for shard_id, (stats, shard_entries, _) in zip(selected,
+                                                           results):
+                per_shard[shard_id] = stats
+                entries.extend(shard_entries)
+            t0 = time.perf_counter()
+            with self._tracer.span("round.beacon_commit") as beacon_span:
+                beacon_receipt = (
+                    self.beacon.anchor_round(entries, timestamp=ts)
+                    if entries else None
+                )
+                beacon_span.set_attr("entries", len(entries))
+            beacon_s = time.perf_counter() - t0
+            self._m_beacon_s.observe(beacon_s)
         # Advance the anchored watermarks only now, with the round's
         # beacon commitment durable: a seal or beacon failure above
         # leaves the watermarks untouched, so the next successful round
@@ -1062,6 +1212,9 @@ class ShardedChain:
         round_s = time.perf_counter() - round_t0
         self._round_pace_s = (round_s if self._round_pace_s == 0.0
                               else 0.8 * self._round_pace_s + 0.2 * round_s)
+        self._m_seal_round_s.observe(round_s)
+        self._m_txs_sealed.inc(report.txs_sealed)
+        self._last_round = report
         for coordinator in self._coordinators:
             coordinator.on_round_sealed(report)
         if (self.checkpoint_every_rounds > 0

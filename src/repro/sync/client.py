@@ -38,6 +38,7 @@ from ..chain.block import GENESIS_PREV_HASH
 from ..chain.state import StateStore
 from ..errors import SerializationError, StorageError, SyncError
 from ..network.message import NetMessage
+from ..obs.runtime import telemetry as default_telemetry
 from ..persist.codec import decode_block
 from ..persist.durable import DurableStorage
 from ..persist.segment import CrashPoint
@@ -101,6 +102,7 @@ class SnapshotClient:
         self.crash_after_chunks = crash_after_chunks
         self._responses: dict[str, dict] = {}
         self._req_seq = 0
+        self._tracer = default_telemetry().tracer
         self.report = SyncReport(shard_id=shard_id, peer=peer)
         for topic in ("sync/offer", "sync/chunk", "sync/tail"):
             node.on_topic(topic, self._on_response)
@@ -158,7 +160,47 @@ class SnapshotClient:
         Fails closed: on any verification error the store is restored to
         its pre-sync base before :class:`~repro.errors.SyncError`
         propagates.
+
+        Telemetry: the whole attempt runs under an (always-sampled —
+        syncs are rare) ``sync.catch_up`` root span with fetch child
+        spans, and the report's progress counters are mirrored into the
+        registry even when the attempt fails mid-flight.
         """
+        tel = default_telemetry()
+        self._tracer = tel.tracer
+        with self._tracer.root_span("sync.catch_up", sampled=True) as span:
+            span.set_attr("shard", self.shard_id)
+            span.set_attr("peer", self.peer)
+            try:
+                report = self._sync_impl()
+            finally:
+                self._publish_metrics(tel.registry)
+            span.set_attr("height", report.height)
+            span.set_attr("blocks", report.blocks_installed)
+            return report
+
+    # Registry counters already published by an earlier sync() on this
+    # client, so a re-run incs only the delta.
+    _published: dict | None = None
+
+    def _publish_metrics(self, registry) -> None:
+        report = self.report
+        previous = self._published or {}
+        current = {
+            "sync_chunks_downloaded_total": report.chunks_downloaded,
+            "sync_chunks_reused_total": report.chunks_reused,
+            "sync_tail_blocks_installed_total": report.blocks_installed,
+            "sync_bytes_received_total": report.bytes_received,
+            "sync_requests_total": report.requests,
+            "sync_retries_total": report.retries,
+        }
+        for name, value in current.items():
+            delta = value - previous.get(name, 0)
+            if delta > 0:
+                registry.counter(name, shard=str(self.shard_id)).inc(delta)
+        self._published = current
+
+    def _sync_impl(self) -> SyncReport:
         storage = DurableStorage(self.storage_dir)
         try:
             manifest, bundle = self._verified_offer()
@@ -170,9 +212,14 @@ class SnapshotClient:
                 base = int(base)
                 self.report.resumed = True
             try:
-                image = self._fetch_image(manifest)
+                with self._tracer.span("sync.fetch_image") as fetch_span:
+                    image = self._fetch_image(manifest)
+                    fetch_span.set_attr(
+                        "chunks", self.report.chunks_downloaded
+                    )
                 entries = self._verified_state(manifest, image)
-                self._fetch_tail(storage, manifest)
+                with self._tracer.span("sync.fetch_tail"):
+                    self._fetch_tail(storage, manifest)
                 self._install_image(storage, manifest, entries)
             except SyncError:
                 # Wipe whatever this (or a crashed previous) attempt

@@ -53,6 +53,23 @@ class ShardReplica:
         self.node = ChainNode(node_id, net, region=region)
         self.shard: Shard | None = None
         self.last_report: SyncReport | None = None
+        # Replicas answer ops/metrics too: the process default registry
+        # snapshot plus this replica's own sync status.
+        self.node.serve_ops(health=self.health)
+
+    def health(self) -> dict:
+        """Canonical-encodable status served on ``ops/metrics``."""
+        shard = self.shard
+        report = self.last_report
+        return {
+            "shard_id": self.shard_id,
+            "synced": shard is not None,
+            "height": shard.chain.height if shard is not None else 0,
+            "last_sync_height": report.height if report is not None else 0,
+            "last_sync_peer": report.peer if report is not None else "",
+            "blocks_installed": (report.blocks_installed
+                                 if report is not None else 0),
+        }
 
     # ------------------------------------------------------------------
     # Catch-up
