@@ -4,9 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-persist test-sync test-exec test-obs bench-smoke \
-        bench-hotpath bench-shard bench-persist bench-ingest bench-sync \
-        bench-exec bench-obs bench-all check
+.PHONY: test test-persist test-sync test-exec test-obs test-chaos \
+        bench-smoke bench-hotpath bench-shard bench-persist bench-ingest \
+        bench-sync bench-exec bench-obs bench-all check
 
 # Tier-1 verification: the full test suite.
 test:
@@ -32,6 +32,14 @@ test-exec:
 # regressions, ops/metrics over SimNet.
 test-obs:
 	$(PYTHON) -m pytest tests/test_obs.py -q
+
+# Chaos suite: the 2PC crash matrix (coordinator killed at every WAL
+# step boundary), lock-lease/fencing/quarantine coverage, plus the
+# seeded chaos harness run twice per seed — same seed must produce the
+# same report signature, or the run fails.
+test-chaos:
+	$(PYTHON) -m pytest tests/test_chaos.py -q
+	$(PYTHON) -m repro.chaos --seeds 11,23,47
 
 # Fast CI-friendly run of the hot-path benchmark (small sizes).
 bench-smoke:
@@ -81,9 +89,12 @@ bench-obs:
 bench-all: bench-hotpath bench-shard bench-persist bench-ingest \
            bench-sync bench-exec bench-obs
 
-# CI-style verification in one command: tier-1 tests plus a smoke pass
-# of each perf benchmark (same code paths, small sizes, no floors).
+# CI-style verification in one command: tier-1 tests, the seeded chaos
+# smoke (3 fault plans, each run twice — deterministic per seed), plus a
+# smoke pass of each perf benchmark (same code paths, small sizes, no
+# floors).
 check: test
+	$(PYTHON) -m repro.chaos --seeds 11,23,47
 	$(PYTHON) benchmarks/bench_perf_hotpath.py --smoke
 	$(PYTHON) benchmarks/bench_shard_scaling.py --smoke
 	$(PYTHON) benchmarks/bench_persist.py --smoke

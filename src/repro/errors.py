@@ -93,7 +93,29 @@ class TamperDetected(ChainError):
 
 
 class ShardError(ChainError):
-    """A sharded-chain routing, sealing, or locking problem."""
+    """A sharded-chain routing, sealing, or locking problem.
+
+    ``reason`` is a stable machine code (``"lock_conflict"``,
+    ``"fenced_epoch"``, ``"seal_failed"``, ``"quarantined"``, …) and
+    ``shard_id`` attributes the failure to one shard, so operators and
+    the chaos harness can classify failures without parsing messages.
+    Both are optional: the plain ``ShardError("message")`` form keeps
+    working everywhere.
+    """
+
+    def __init__(self, message: str, *, reason: str = "shard_error",
+                 shard_id: int | None = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.shard_id = shard_id
+
+    def as_dict(self) -> dict:
+        """Structured form for reports, logs, and health rollups."""
+        return {
+            "reason": self.reason,
+            "shard_id": self.shard_id,
+            "message": str(self),
+        }
 
 
 class ConsensusError(ReproError):

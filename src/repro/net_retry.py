@@ -1,0 +1,140 @@
+"""One retry/backoff/failover policy for every SimNet req/resp client.
+
+The ops client (:meth:`~repro.network.node.ChainNode.request_ops`) and
+the snapshot-sync client (:class:`~repro.sync.client.SnapshotClient`)
+both speak the same stop-and-wait idiom over :class:`~repro.network.
+simnet.SimNet` — send a ``{"req": True, "req_id": ...}`` body, drain the
+event loop, check a response mailbox — and each used to carry its own
+copy of the retry loop, and the replica (:meth:`~repro.sync.replica.
+ShardReplica.catch_up`) its own per-peer failover loop.  This module is
+the single shared policy:
+
+* :class:`RetryPolicy` — attempt budget plus **exponential backoff with
+  seeded jitter**.  Backoff is expressed in simulated clock ticks and
+  the jitter is drawn from the *network's* seeded RNG, so a retry
+  schedule is exactly as deterministic as the rest of the simulation:
+  same seed, same traffic → same retry timeline.
+* :func:`request_with_retries` — the stop-and-wait loop.  Returns the
+  response dict, or ``None`` once the budget is exhausted so the caller
+  raises its own taxonomy error (both call sites preserve their
+  historical ``reason="peer_unresponsive"`` :class:`~repro.errors.
+  SyncError`).
+* :func:`failover` — try each peer in order, collecting structured
+  per-peer errors; raises the last peer's error when all fail.
+
+Instrumentation (process-default registry, labeled by topic):
+``net_requests_total``, ``net_retries_total``,
+``net_requests_unanswered_total``, ``net_backoff_ticks_total``, and
+``net_failovers_total`` — one place for operators to see how often the
+simulated fabric makes clients wait, whatever the subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from .errors import SyncError
+from .network.message import NetMessage
+from .obs.runtime import telemetry as default_telemetry
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget + exponential backoff shape.
+
+    ``max_retries`` counts *re*-sends: every request gets
+    ``max_retries + 1`` attempts.  Before retry attempt *k* (1-based)
+    the caller's clock advances ``base_backoff_ticks * factor**(k-1)``
+    ticks, capped at ``max_backoff_ticks``, plus a jitter tick count in
+    ``[0, jitter_ticks]`` drawn from the supplied (seeded) RNG.  The
+    first attempt never waits."""
+
+    max_retries: int = 3
+    base_backoff_ticks: int = 8
+    factor: float = 2.0
+    max_backoff_ticks: int = 256
+    jitter_ticks: int = 4
+
+    def backoff_ticks(self, attempt: int, rng=None) -> int:
+        """Ticks to wait before retry ``attempt`` (1-based)."""
+        if attempt <= 0:
+            return 0
+        ticks = min(
+            int(self.base_backoff_ticks * self.factor ** (attempt - 1)),
+            self.max_backoff_ticks,
+        )
+        if self.jitter_ticks > 0 and rng is not None:
+            ticks += rng.randrange(self.jitter_ticks + 1)
+        return ticks
+
+
+def request_with_retries(
+    node: Any,
+    peer: str,
+    topic: str,
+    body: dict,
+    req_id: str,
+    responses: dict,
+    policy: RetryPolicy | None = None,
+    on_attempt: Callable[[int], None] | None = None,
+) -> dict | None:
+    """Stop-and-wait request over ``node.net`` with retry + backoff.
+
+    ``responses`` is the req_id-keyed mailbox the node's topic handler
+    fills; ``on_attempt`` (attempt index, 0-based) lets callers keep
+    their own request/retry accounting (the sync report).  Returns the
+    response body, or ``None`` when every attempt went unanswered —
+    raising the right taxonomy error is the caller's job."""
+    policy = policy or RetryPolicy()
+    registry = default_telemetry().registry
+    rng = getattr(node.net, "rng", None)
+    clock = getattr(node.net, "clock", None)
+    for attempt in range(policy.max_retries + 1):
+        if attempt:
+            registry.counter("net_retries_total", topic=topic).inc()
+            ticks = policy.backoff_ticks(attempt, rng)
+            if ticks and clock is not None:
+                clock.advance(ticks)
+                registry.counter("net_backoff_ticks_total",
+                                 topic=topic).inc(ticks)
+        registry.counter("net_requests_total", topic=topic).inc()
+        if on_attempt is not None:
+            on_attempt(attempt)
+        node.net.send(NetMessage(sender=node.node_id, recipient=peer,
+                                 topic=topic, body=body))
+        # Drain the event loop: with backoff applied the clock has moved
+        # past held (reordered) deliveries, so stragglers land too.
+        node.net.run()
+        resp = responses.pop(req_id, None)
+        if resp is not None:
+            return resp
+    registry.counter("net_requests_unanswered_total", topic=topic).inc()
+    return None
+
+
+def failover(
+    peers: Sequence[str] | Iterable[str],
+    attempt: Callable[[str], Any],
+    empty_error: SyncError | None = None,
+) -> Any:
+    """Run ``attempt(peer)`` against each peer in order; the first
+    success wins.  A peer failing with :class:`~repro.errors.SyncError`
+    (the structured, fail-closed taxonomy) moves on to the next peer;
+    when every peer fails the *last* error propagates, and an empty
+    peer list raises ``empty_error`` (default: ``reason="no_peers"``)."""
+    registry = default_telemetry().registry
+    last_error: SyncError | None = None
+    for peer in peers:
+        if last_error is not None:
+            registry.counter("net_failovers_total").inc()
+        try:
+            return attempt(peer)
+        except SyncError as exc:
+            last_error = exc
+            continue
+    if last_error is not None:
+        raise last_error
+    raise empty_error if empty_error is not None else SyncError(
+        "no peers available", reason="no_peers"
+    )

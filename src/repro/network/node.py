@@ -188,32 +188,33 @@ class ChainNode:
 
     def request_ops(self, peer: str, max_retries: int = 3) -> dict:
         """Client side: fetch ``peer``'s metrics snapshot (and health
-        rollup, if it serves one) over the network.  Stop-and-wait with
-        retries, like the sync client; raises :class:`SyncError` when
-        the peer never answers or answered with an error."""
+        rollup, if it serves one) over the network.  Stop-and-wait via
+        the shared :mod:`repro.net_retry` policy (exponential backoff,
+        seeded jitter), like the sync client; raises :class:`SyncError`
+        when the peer never answers or answered with an error."""
+        from ..net_retry import RetryPolicy, request_with_retries
+
         req_id = f"{self.node_id}:ops:{self._ops_seq}"
         self._ops_seq += 1
-        for _attempt in range(max_retries + 1):
-            self.net.send(NetMessage(
-                sender=self.node_id, recipient=peer,
-                topic="ops/metrics",
-                body={"req": True, "req_id": req_id},
-            ))
-            self.net.run()
-            resp = self._ops_responses.pop(req_id, None)
-            if resp is None:
-                continue
-            if "error" in resp:
-                raise SyncError(
-                    f"peer {peer} refused ops/metrics: "
-                    f"{resp.get('message', '')}",
-                    reason=str(resp["error"].get("reason", "peer_error")),
-                )
-            return resp
-        raise SyncError(
-            f"peer {peer} did not answer ops/metrics after "
-            f"{max_retries + 1} attempts", reason="peer_unresponsive",
+        resp = request_with_retries(
+            self, peer, "ops/metrics",
+            body={"req": True, "req_id": req_id},
+            req_id=req_id,
+            responses=self._ops_responses,
+            policy=RetryPolicy(max_retries=max_retries),
         )
+        if resp is None:
+            raise SyncError(
+                f"peer {peer} did not answer ops/metrics after "
+                f"{max_retries + 1} attempts", reason="peer_unresponsive",
+            )
+        if "error" in resp:
+            raise SyncError(
+                f"peer {peer} refused ops/metrics: "
+                f"{resp.get('message', '')}",
+                reason=str(resp["error"].get("reason", "peer_error")),
+            )
+        return resp
 
     def send_shard_transaction(self, gateway_id: str, tx: Transaction) -> bool:
         """Client-side: submit a transaction to a shard gateway node."""

@@ -27,7 +27,11 @@ a single verifiable root of trust:
 * :class:`CrossShardCoordinator` — two-phase lock/commit for handoffs
   spanning shards, with on-chain lock/commit/abort legs and
   abort-and-unlock on sealing-round timeout.  Handoff provenance records
-  materialize only on full commit.
+  materialize only on full commit.  The coordinator WALs every state
+  transition through the facade's meta surface and replays it
+  presumed-abort on :meth:`~CrossShardCoordinator.recover`; locks carry
+  lease rounds and a holder epoch, and participant shards fence legs
+  from older coordinator generations.
 * :class:`ShardedQueryEngine` — scatter-gather federation of the
   per-shard query engines; verified answers compound the record's
   anchored Merkle proof with a beacon proof of its anchor block, and
@@ -48,6 +52,7 @@ from .beacon import (
 from .query import FederatedProof, ShardedQueryEngine, ShardedVerifiedAnswer
 from .router import NAMESPACE_SEP, ShardRouter, namespace_of
 from .shardchain import (
+    LockEntry,
     RoundReport,
     Shard,
     ShardedChain,
@@ -56,9 +61,12 @@ from .shardchain import (
 )
 from .twophase import (
     ABORTED,
+    ABORTING,
     COMMITTED,
     COMMITTING,
+    FINALIZING,
     PREPARING,
+    WAL_STEPS,
     CrossShardCoordinator,
     CrossShardTransfer,
 )
@@ -74,15 +82,19 @@ __all__ = [
     "NAMESPACE_SEP",
     "ShardRouter",
     "namespace_of",
+    "LockEntry",
     "RoundReport",
     "Shard",
     "ShardedChain",
     "ShardSealStats",
     "SubmitReport",
     "ABORTED",
+    "ABORTING",
     "COMMITTED",
     "COMMITTING",
+    "FINALIZING",
     "PREPARING",
+    "WAL_STEPS",
     "CrossShardCoordinator",
     "CrossShardTransfer",
 ]

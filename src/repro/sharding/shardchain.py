@@ -28,7 +28,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from ..chain import Blockchain, ChainParams, Mempool, Transaction
 from ..chain.block import Block
-from ..errors import QueueFull, ShardError
+from ..errors import QueueFull, ReproError, ShardError
 from ..obs.runtime import telemetry as default_telemetry
 from ..provenance.anchor import AnchorReceipt, AnchorService
 from ..provenance.query import ProvenanceQueryEngine, QueryCache
@@ -101,6 +101,24 @@ class Shard:
 
 
 @dataclass(frozen=True)
+class LockEntry:
+    """One cross-shard lock: owner, holder epoch, and lease expiry.
+
+    ``epoch`` is the coordinator generation that took the lock — a
+    recovered coordinator (higher epoch) may reclaim entries from dead
+    generations, and protocol legs from a fenced (lower) epoch are
+    refused at submit time.  ``expires_round`` is the sealing round
+    after which the lease is stale: a live coordinator renews its
+    leases every round tick, so an expired lease means its holder died
+    without unlocking and the facade may drop it.
+    """
+
+    xid: str
+    epoch: int = 0
+    expires_round: int = 0
+
+
+@dataclass(frozen=True)
 class ShardSealStats:
     """What one shard did in one sealing round.
 
@@ -123,6 +141,9 @@ class RoundReport:
     per_shard: Mapping[int, ShardSealStats]
     beacon_receipt: BeaconReceipt | None
     beacon_duration_s: float
+    #: Shards whose seal failed this round (quarantine mode only):
+    #: shard id -> structured error dict (reason / message / streak).
+    failed_shards: Mapping[int, dict] = field(default_factory=dict)
 
     @property
     def txs_sealed(self) -> int:
@@ -243,9 +264,18 @@ class ShardedChain:
         exec_workers: int | None = None,
         contract_runtime_factory=None,
         telemetry=None,
+        lock_lease_rounds: int = 16,
+        quarantine_after: int = 0,
+        quarantine_probe_every: int = 2,
     ) -> None:
         if n_shards < 1:
             raise ShardError("need at least one shard")
+        if lock_lease_rounds < 1:
+            raise ShardError("lock_lease_rounds must be >= 1")
+        if quarantine_after < 0:
+            raise ShardError("quarantine_after must be >= 0")
+        if quarantine_probe_every < 1:
+            raise ShardError("quarantine_probe_every must be >= 1")
         if seal_workers is not None and seal_workers < 1:
             raise ShardError("seal_workers must be >= 1")
         if executor not in ("auto", "serial", "thread", "process"):
@@ -302,10 +332,30 @@ class ShardedChain:
             store=beacon_storage.blocks if beacon_storage else None,
             snapshot_store=beacon_storage.state if beacon_storage else None,
         )
-        # (shard_id, subject) -> owning transfer id.  Guards cross-shard
+        # (shard_id, subject) -> LockEntry.  Guards cross-shard
         # atomicity: while a subject is mid-handoff, conflicting writes
         # are deferred instead of interleaving with the 2PC phases.
-        self._locks: dict[tuple[int, str], str] = {}
+        # Entries carry a holder epoch and a lease round (see
+        # LockEntry); seal_round sweeps expired leases.
+        self._locks: dict[tuple[int, str], LockEntry] = {}
+        self.lock_lease_rounds = lock_lease_rounds
+        # Coordinator fencing: the highest coordinator epoch this facade
+        # has seen.  Protocol legs stamped with an older epoch are
+        # refused at submit time (a zombie coordinator that lost a
+        # recovery race cannot drive half a transfer).
+        self.coordinator_epoch: int | None = None
+        # In-memory meta fallback: the durable 2PC WAL rides the beacon
+        # store's meta table when one exists; in-memory deployments get
+        # the same surface (so coordinator crash/recovery is testable
+        # without disk) backed by this dict of encoded values.
+        self._meta_mem: dict[str, bytes] = {}
+        # Graceful degradation (quarantine_after > 0): consecutive seal
+        # failures per shard, and the quarantine roster with per-shard
+        # rounds-skipped counters driving periodic re-admission probes.
+        self.quarantine_after = quarantine_after
+        self.quarantine_probe_every = quarantine_probe_every
+        self._seal_fail_streak: dict[int, int] = {}
+        self._quarantined: dict[int, int] = {}
         # Highest block height per shard already committed to the beacon.
         self._anchored_height = [0] * n_shards
         # Per-shard admission time (hashing + mempool insert) accumulated
@@ -358,6 +408,12 @@ class ShardedChain:
             "exec_rounds_offloaded_total"
         )
         self._m_exec_fallback = registry.counter("exec_fallback_total")
+        self._m_leases_expired = registry.counter(
+            "xshard_lock_leases_expired_total"
+        )
+        self._m_quarantined = registry.counter("shard_quarantined_total")
+        self._m_readmitted = registry.counter("shard_readmitted_total")
+        self._m_seal_failures = registry.counter("shard_seal_failures_total")
         registry.register_collector(self._collect_metrics)
         self._last_round: RoundReport | None = None
         if beacon_storage is not None:
@@ -369,13 +425,14 @@ class ShardedChain:
                 self.rounds_sealed = int(facade["rounds_sealed"])
                 self._anchored_height = [int(h)
                                          for h in facade["anchored_height"]]
-                # Presumed-abort: locks checkpointed mid-2PC are NOT
-                # restored.  Their owning coordinator (and its timeout
-                # machinery) died with the old process, so restoring them
-                # would wedge the subjects forever; since handoff records
-                # only materialize on full commit, dropping the locks
-                # safely aborts the in-flight transfer.  (Durable transfer
-                # state machines are the ROADMAP's 2PC-recovery item.)
+                # Locks checkpointed mid-2PC are NOT restored here: the
+                # owning coordinator died with the old process.  The
+                # durable transfer WAL (sharding.twophase) is the source
+                # of truth — CrossShardCoordinator.recover() re-owns the
+                # locks of every in-flight transfer under its new epoch
+                # and resolves each one (finalize when all commit legs
+                # are on-chain, presumed-abort otherwise), so nothing
+                # stays wedged and nothing half-commits.
                 self._locks = {}
 
     # ------------------------------------------------------------------
@@ -424,6 +481,8 @@ class ShardedChain:
                 "height": shard.chain.height,
                 "anchored_height": self._anchored_height[sid],
                 "mempool_backlog": len(shard.mempool),
+                "seal_fail_streak": self._seal_fail_streak.get(sid, 0),
+                "quarantined": sid in self._quarantined,
             }
         report: dict[str, Any] = {
             "n_shards": len(self.shards),
@@ -431,6 +490,8 @@ class ShardedChain:
             "round_pace_s": self._round_pace_s,
             "mempool_backlog_total": self.mempool_backlog,
             "locks_active": len(self._locks),
+            "quarantined_shards": sorted(str(sid)
+                                         for sid in self._quarantined),
             "per_shard": per_shard,
             "slowest_shard": None,
             "slowest_seal_s": 0.0,
@@ -472,8 +533,11 @@ class ShardedChain:
             {
                 "rounds_sealed": self.rounds_sealed,
                 "anchored_height": list(self._anchored_height),
-                "locks": [[sid, subject, xid]
-                          for (sid, subject), xid in self._locks.items()],
+                "locks": [
+                    [sid, subject, entry.xid, entry.epoch,
+                     entry.expires_round]
+                    for (sid, subject), entry in self._locks.items()
+                ],
             },
         )
         self.beacon.chain.checkpoint()
@@ -515,6 +579,28 @@ class ShardedChain:
             shard.storage.close()
         self._beacon_storage.close()
 
+    def crash(self) -> None:
+        """Fail-stop, for crash testing: release every OS resource
+        WITHOUT checkpointing, as if the process died right here.
+        Durable state is exactly what the stores already committed —
+        sealed block segments, per-write meta commits (the 2PC WAL) —
+        while derived facade/beacon meta stays at the last checkpoint,
+        which is what a reopened :class:`ShardedChain` plus
+        ``CrossShardCoordinator(recover=True)`` must cope with."""
+        if self._seal_pool is not None:
+            self._seal_pool.shutdown(wait=True, cancel_futures=True)
+            self._seal_pool = None
+        if self._exec_pool is not None:
+            self._exec_pool.shutdown()
+            self._exec_pool = None
+            self._worker_shard_state.clear()
+        self._coordinators.clear()
+        if self._beacon_storage is None:
+            return
+        for shard in self.shards:
+            shard.storage.close()
+        self._beacon_storage.close()
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -545,22 +631,123 @@ class ShardedChain:
         self.beacon.chain.verify(deep=deep)
 
     # ------------------------------------------------------------------
+    # Meta (the 2PC coordinator's WAL surface; see sharding.twophase)
+    # ------------------------------------------------------------------
+    def put_meta(self, key: str, value: Any) -> None:
+        """Persist one canonical-encodable value.  Durable deployments
+        write through the beacon store's meta table (each write commits
+        before returning — the WAL property the 2PC coordinator relies
+        on); in-memory deployments round-trip through the canonical
+        codec into a process-local dict, so coordinator crash/recovery
+        behaves identically in both."""
+        if self._beacon_storage is not None:
+            self._beacon_storage.put_meta(key, value)
+            return
+        from ..serialization import canonical_encode
+
+        self._meta_mem[key] = canonical_encode(value)
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        if self._beacon_storage is not None:
+            return self._beacon_storage.get_meta(key, default)
+        encoded = self._meta_mem.get(key)
+        if encoded is None:
+            return default
+        from ..persist.codec import canonical_decode
+
+        return canonical_decode(encoded)
+
+    # ------------------------------------------------------------------
     # Locks (the 2PC coordinator's table; see sharding.twophase)
     # ------------------------------------------------------------------
-    def acquire_lock(self, shard_id: int, subject: str, xid: str) -> bool:
+    def set_coordinator_epoch(self, epoch: int) -> None:
+        """Fence every earlier coordinator generation: protocol legs
+        stamped with an older epoch are refused from now on."""
+        if self.coordinator_epoch is not None \
+                and epoch < self.coordinator_epoch:
+            raise ShardError(
+                f"coordinator epoch {epoch} is behind the fenced epoch "
+                f"{self.coordinator_epoch}", reason="fenced_epoch",
+            )
+        self.coordinator_epoch = epoch
+
+    def acquire_lock(self, shard_id: int, subject: str, xid: str,
+                     epoch: int = 0,
+                     lease_rounds: int | None = None) -> bool:
+        """Take (or renew) the lock on ``(shard_id, subject)``.
+
+        Re-acquiring with the owning ``xid`` renews the lease and
+        updates the holder epoch — the coordinator calls this every
+        round tick for its in-flight transfers, so a lease that *does*
+        expire marks a dead holder."""
         key = (shard_id, subject)
         owner = self._locks.get(key)
-        if owner is not None and owner != xid:
+        if owner is not None and owner.xid != xid:
             return False
-        self._locks[key] = xid
+        lease = self.lock_lease_rounds if lease_rounds is None \
+            else lease_rounds
+        self._locks[key] = LockEntry(
+            xid=xid, epoch=epoch,
+            expires_round=self.rounds_sealed + lease,
+        )
         return True
 
-    def release_lock(self, shard_id: int, subject: str, xid: str) -> None:
+    def reclaim_lock(self, shard_id: int, subject: str, xid: str,
+                     epoch: int) -> None:
+        """Recovery-only: forcibly re-own a lock for ``xid`` under a new
+        coordinator epoch, whatever entry (if any) a dead generation
+        left behind.  Only the WAL-replaying coordinator may call this —
+        it knows ``xid`` owned the subject when the old process died."""
+        self._locks[(shard_id, subject)] = LockEntry(
+            xid=xid, epoch=epoch,
+            expires_round=self.rounds_sealed + self.lock_lease_rounds,
+        )
+
+    def release_lock(self, shard_id: int, subject: str, xid: str,
+                     epoch: int | None = None) -> None:
+        """Release iff ``xid`` owns the entry (and, when ``epoch`` is
+        given, iff the holder epoch matches — a fenced coordinator
+        cannot release the lock its recovered successor re-owns)."""
         key = (shard_id, subject)
-        if self._locks.get(key) == xid:
+        owner = self._locks.get(key)
+        if owner is None or owner.xid != xid:
+            return
+        if epoch is not None and owner.epoch != epoch:
+            return
+        del self._locks[key]
+
+    def drop_stale_locks(self, current_epoch: int) -> int:
+        """Drop every lock held by an older coordinator epoch (recovery
+        sweep: the WAL-replaying coordinator re-owns the locks of the
+        transfers it is resolving first, then sweeps the rest — entries
+        whose transfers already reached a terminal state but whose
+        unlock never ran before the crash)."""
+        stale = [key for key, entry in self._locks.items()
+                 if entry.epoch < current_epoch]
+        for key in stale:
             del self._locks[key]
+        return len(stale)
+
+    def _expire_stale_locks(self) -> None:
+        """Lease sweep (start of every round): entries whose lease round
+        passed belong to holders that stopped renewing — a coordinator
+        that died without its WAL being replayed.  Dropping them frees
+        the subjects; handoff records only materialize on full commit,
+        so this is presumed-abort, never data loss."""
+        if not self._locks:
+            return
+        expired = [key for key, entry in self._locks.items()
+                   if entry.expires_round < self.rounds_sealed]
+        for key in expired:
+            del self._locks[key]
+        if expired:
+            self._m_leases_expired.inc(len(expired))
 
     def lock_owner(self, shard_id: int, subject: str) -> str | None:
+        entry = self._locks.get((shard_id, subject))
+        return entry.xid if entry is not None else None
+
+    def lock_entry(self, shard_id: int, subject: str) -> LockEntry | None:
         return self._locks.get((shard_id, subject))
 
     def _blocked_by_lock(self, shard_id: int, tx: Transaction) -> bool:
@@ -568,7 +755,7 @@ class ShardedChain:
         if subject is None:
             return False
         owner = self._locks.get((shard_id, subject))
-        return owner is not None and tx.payload.get("xid") != owner
+        return owner is not None and tx.payload.get("xid") != owner.xid
 
     # ------------------------------------------------------------------
     # Ingest
@@ -600,7 +787,21 @@ class ShardedChain:
 
     def submit_to(self, shard_id: int, tx: Transaction) -> None:
         """Protocol-path submit (2PC lock/commit/abort legs): bypasses the
-        router but still honors the lock table's xid exemption."""
+        router but still honors the lock table's xid exemption.  Legs
+        stamped with a fenced (older) coordinator epoch are refused — a
+        zombie coordinator that lost a recovery race cannot land half a
+        transfer on-chain."""
+        payload = tx.payload
+        if payload.get("phase") in ("lock", "commit", "abort") \
+                and "xid" in payload \
+                and self.coordinator_epoch is not None \
+                and payload.get("epoch") != self.coordinator_epoch:
+            raise ShardError(
+                f"shard {shard_id}: protocol leg from fenced coordinator "
+                f"epoch {payload.get('epoch')!r} refused "
+                f"(current epoch {self.coordinator_epoch})",
+                reason="fenced_epoch", shard_id=shard_id,
+            )
         if self._blocked_by_lock(shard_id, tx):
             raise ShardError(
                 f"shard {shard_id}: transaction conflicts with an active "
@@ -674,7 +875,7 @@ class ShardedChain:
             raise ShardError("record lacks a subject to route by")
         shard_id = self.router.shard_for(namespace_of(subject))
         owner = self._locks.get((shard_id, subject))
-        if owner is not None and record.get("xid") != owner:
+        if owner is not None and record.get("xid") != owner.xid:
             raise ShardError(
                 f"subject {subject!r} is locked by a cross-shard "
                 "transfer; ingest after it settles"
@@ -706,7 +907,7 @@ class ShardedChain:
                 raise ShardError("record lacks a subject to route by")
             shard_id = self.router.shard_for(namespace_of(subject))
             owner = self._locks.get((shard_id, subject))
-            if owner is not None and record.get("xid") != owner:
+            if owner is not None and record.get("xid") != owner.xid:
                 raise ShardError(
                     f"subject {subject!r} is locked by a cross-shard "
                     "transfer; ingest after it settles"
@@ -747,6 +948,47 @@ class ShardedChain:
         """Register an observer whose ``on_round_sealed(report)`` runs
         after each round (the 2PC coordinator drives its phases there)."""
         self._coordinators.append(coordinator)
+
+    def detach_coordinator(self, coordinator: Any) -> None:
+        """Unregister a round observer (no-op when absent).  The chaos
+        harness detaches a 'crashed' coordinator so the zombie instance
+        stops being driven while its recovered successor takes over."""
+        try:
+            self._coordinators.remove(coordinator)
+        except ValueError:
+            pass
+
+    def _note_seal_failure(self, shard_id: int, exc: Exception) -> dict:
+        """Quarantine bookkeeping for one failed shard round: bump the
+        failure streak, quarantine at ``quarantine_after`` consecutive
+        failures, and return the structured attribution dict that lands
+        in :class:`RoundReport.failed_shards`."""
+        self._m_seal_failures.inc()
+        streak = self._seal_fail_streak.get(shard_id, 0) + 1
+        self._seal_fail_streak[shard_id] = streak
+        if shard_id not in self._quarantined \
+                and streak >= self.quarantine_after:
+            self._quarantined[shard_id] = self.rounds_sealed
+            self._m_quarantined.inc()
+        err = exc if isinstance(exc, ShardError) else ShardError(
+            f"shard {shard_id} failed to seal: "
+            f"{type(exc).__name__}: {exc}",
+            reason="seal_failed", shard_id=shard_id,
+        )
+        info = err.as_dict()
+        info["shard_id"] = shard_id
+        info["streak"] = streak
+        info["quarantined"] = shard_id in self._quarantined
+        return info
+
+    def _note_seal_success(self, shard_id: int) -> None:
+        """A clean shard round resets the failure streak and re-admits a
+        quarantined shard (its probe round succeeded)."""
+        if self._seal_fail_streak.get(shard_id):
+            self._seal_fail_streak[shard_id] = 0
+        if shard_id in self._quarantined:
+            del self._quarantined[shard_id]
+            self._m_readmitted.inc()
 
     def _pop_round_blocks(
         self, shard_id: int, ts: int, blocks_per_shard: int,
@@ -1036,7 +1278,8 @@ class ShardedChain:
     def _seal_round_process(
         self, selected: list[int], ts: int, blocks_per_shard: int,
         workers: int | None,
-    ) -> list[tuple[ShardSealStats, list, int]]:
+        failures: dict[int, dict] | None = None,
+    ) -> list[tuple[ShardSealStats, list, int] | None]:
         """Round body for ``executor="process"``: pop + build every
         shard's blocks, encode them once (wire frames double as the
         store frames), fan out to the pool, and commit each shard **as
@@ -1048,14 +1291,22 @@ class ShardedChain:
         from ..persist.codec import encode_block
 
         pool = self._get_exec_pool(workers)
-        prepared: dict[int, list] = {}
+        prepared: dict[int, list | None] = {}
         jobs: list[tuple[int, bytes]] = []
         job_shards: list[int] = []
         for shard_id in selected:
             t0 = time.perf_counter()
-            blocks, txs_sealed = self._pop_round_blocks(
-                shard_id, ts, blocks_per_shard
-            )
+            try:
+                blocks, txs_sealed = self._pop_round_blocks(
+                    shard_id, ts, blocks_per_shard
+                )
+            except ReproError as exc:
+                if failures is None:
+                    raise
+                failures[shard_id] = self._note_seal_failure(shard_id,
+                                                             exc)
+                prepared[shard_id] = None
+                continue
             widx = shard_id % pool.n_workers
             ctx = self._round_trace_ctx(blocks)
             # [blocks, frames, txs_sealed, widx, active_s, trace_ctx]
@@ -1075,17 +1326,28 @@ class ShardedChain:
             shard_id = job_shards[job_index]
             entry = prepared[shard_id]
             t0 = time.perf_counter()
-            with self._tracer.span("shard.commit",
-                                   parent=entry[5]) as span:
-                span.set_attr("shard", shard_id)
-                self._apply_exec_response(
-                    shard_id, entry[0], entry[1], response, entry[3],
-                    pool,
-                )
+            try:
+                with self._tracer.span("shard.commit",
+                                       parent=entry[5]) as span:
+                    span.set_attr("shard", shard_id)
+                    self._apply_exec_response(
+                        shard_id, entry[0], entry[1], response, entry[3],
+                        pool,
+                    )
+            except ReproError as exc:
+                if failures is None:
+                    raise
+                failures[shard_id] = self._note_seal_failure(shard_id,
+                                                             exc)
+                prepared[shard_id] = None
+                continue
             entry[4] += time.perf_counter() - t0
-        results: list[tuple[ShardSealStats, list, int]] = []
+        results: list[tuple[ShardSealStats, list, int] | None] = []
         for shard_id in selected:
             entry = prepared[shard_id]
+            if entry is None:
+                results.append(None)
+                continue
             shard = self.shards[shard_id]
             entries = self._collect_round_entries(shard_id)
             self._m_seal_shard_s.observe(entry[4])
@@ -1146,18 +1408,31 @@ class ShardedChain:
             mode = "thread" if self.seal_workers > 1 else "serial"
         if mode not in ("serial", "thread", "process"):
             raise ShardError(f"unknown executor mode {mode!r}")
+        self._expire_stale_locks()
         selected = list(range(len(self.shards)) if shard_ids is None
                         else shard_ids)
+        if shard_ids is None and self._quarantined:
+            # Skip quarantined shards except on their probe rounds — a
+            # probe that seals cleanly re-admits the shard below.
+            selected = [
+                sid for sid in selected
+                if sid not in self._quarantined
+                or (self.rounds_sealed - self._quarantined[sid])
+                % self.quarantine_probe_every == 0
+            ]
         ts = self.rounds_sealed if timestamp is None else timestamp
         round_t0 = time.perf_counter()
         per_shard: dict[int, ShardSealStats] = {}
+        failed_shards: dict[int, dict] = {}
         entries: list[tuple[int, int, bytes, bytes]] = []
+        tolerant = self.quarantine_after > 0
         with self._tracer.root_span("round.seal") as round_span:
             round_span.set_attr("round", self.rounds_sealed)
             round_span.set_attr("mode", mode)
             if mode == "process":
                 results = self._seal_round_process(
-                    selected, ts, blocks_per_shard, workers
+                    selected, ts, blocks_per_shard, workers,
+                    failures=failed_shards if tolerant else None,
                 )
             elif mode == "thread" and len(selected) > 1:
                 futures = [
@@ -1171,20 +1446,49 @@ class ShardedChain:
                 # round start a second task on a shard whose first task
                 # is mid-mutation.
                 futures_wait(futures)
-                first_error = next(
-                    (f.exception() for f in futures
-                     if f.exception() is not None), None,
-                )
-                if first_error is not None:
-                    raise first_error
-                results = [future.result() for future in futures]
-            else:
+                if not tolerant:
+                    first_error = next(
+                        (f.exception() for f in futures
+                         if f.exception() is not None), None,
+                    )
+                    if first_error is not None:
+                        raise first_error
+                    results = [future.result() for future in futures]
+                else:
+                    results = []
+                    for sid, future in zip(selected, futures):
+                        exc = future.exception()
+                        if exc is None:
+                            results.append(future.result())
+                        elif isinstance(exc, ReproError):
+                            failed_shards[sid] = \
+                                self._note_seal_failure(sid, exc)
+                            results.append(None)
+                        else:
+                            raise exc
+            elif not tolerant:
                 results = [
                     self._seal_shard_round(sid, ts, blocks_per_shard)
                     for sid in selected
                 ]
-            for shard_id, (stats, shard_entries, _) in zip(selected,
-                                                           results):
+            else:
+                results = []
+                for sid in selected:
+                    try:
+                        results.append(
+                            self._seal_shard_round(sid, ts,
+                                                   blocks_per_shard)
+                        )
+                    except ReproError as exc:
+                        failed_shards[sid] = \
+                            self._note_seal_failure(sid, exc)
+                        results.append(None)
+            for shard_id, result in zip(selected, results):
+                if result is None:
+                    continue
+                if tolerant:
+                    self._note_seal_success(shard_id)
+                stats, shard_entries, _ = result
                 per_shard[shard_id] = stats
                 entries.extend(shard_entries)
             t0 = time.perf_counter()
@@ -1200,13 +1504,15 @@ class ShardedChain:
         # beacon commitment durable: a seal or beacon failure above
         # leaves the watermarks untouched, so the next successful round
         # re-collects (and actually anchors) the same blocks.
-        for shard_id, (_, _, new_height) in zip(selected, results):
-            self._anchored_height[shard_id] = new_height
+        for shard_id, result in zip(selected, results):
+            if result is not None:
+                self._anchored_height[shard_id] = result[2]
         report = RoundReport(
             round_no=self.rounds_sealed,
             per_shard=per_shard,
             beacon_receipt=beacon_receipt,
             beacon_duration_s=beacon_s,
+            failed_shards=failed_shards,
         )
         self.rounds_sealed += 1
         round_s = time.perf_counter() - round_t0

@@ -1,4 +1,4 @@
-"""Cross-shard transfers: two-phase lock/commit over shard chains.
+"""Cross-shard transfers: crash-safe two-phase lock/commit over shards.
 
 A provenance handoff whose source and derived objects live on different
 shards cannot be a single transaction — no block contains both writes.
@@ -20,6 +20,34 @@ the :mod:`repro.crosschain.messages` idiom of on-chain protocol legs:
 Atomicity argument: the handoff records are inserted only on full
 commit, and while any phase is in flight both subjects are locked, so no
 interleaved write can observe a half-transferred object.
+
+Crash safety
+------------
+
+The coordinator writes a **transfer WAL** through the facade's
+``put_meta`` surface (each write commits before returning on a durable
+deployment) and follows a persist-before-act discipline: every state
+transition — ``begin``, each ``lock_leg``/``commit_leg`` submission,
+``committing``, ``finalizing``, and the terminal ``finalized`` /
+``aborting`` / ``aborted`` steps — lands in the WAL *before* the action
+it describes takes effect.  On reopen, :meth:`CrossShardCoordinator.
+recover` replays the WAL **presumed-abort**:
+
+* a transfer whose commit legs are all on-chain is *finalized* — the
+  handoff record pair is re-materialized idempotently (records already
+  present are skipped, anchor re-enqueue tolerates duplicates);
+* every other in-flight transfer is *aborted* and its subjects unlocked.
+
+Each coordinator generation takes a strictly increasing **epoch**
+(persisted in the same meta table) and stamps it on every protocol leg;
+the facade refuses legs from a fenced (older) epoch, locks carry the
+holder epoch plus a lease round, and a recovered coordinator reclaims
+its predecessors' locks under the new epoch — a zombie coordinator that
+lost the recovery race can neither land half a transfer on-chain nor
+release a lock its successor re-owns.  The ``crash_after_wal_writes`` /
+``crash_at_step`` hooks raise :class:`~repro.persist.segment.CrashPoint`
+immediately *after* a WAL write, which is how the chaos harness's crash
+matrix kills the coordinator at every persisted step boundary.
 """
 
 from __future__ import annotations
@@ -29,14 +57,25 @@ from typing import Any, Mapping
 
 from ..chain import Transaction, TxKind
 from ..crosschain.messages import TransferOutcome
-from ..errors import ChainError, ShardError
+from ..errors import AnchorError, ChainError, ShardError
+from ..persist.segment import CrashPoint
 from .shardchain import RoundReport, ShardedChain
 
 #: Transfer lifecycle states.
 PREPARING = "preparing"
 COMMITTING = "committing"
+FINALIZING = "finalizing"
 COMMITTED = "committed"
+ABORTING = "aborting"
 ABORTED = "aborted"
+
+#: Base names of the persisted WAL steps, in protocol order.  Per-shard
+#: leg steps are written as ``"lock_leg:{shard_id}"`` etc.; the crash
+#: hooks match either the base name or the full step string.
+WAL_STEPS = (
+    "begin", "lock_leg", "committing", "commit_leg",
+    "finalizing", "finalized", "aborting", "aborted",
+)
 
 
 @dataclass
@@ -53,6 +92,8 @@ class CrossShardTransfer:
     deadline_round: int
     timestamp: int = 0
     state: str = PREPARING
+    epoch: int = 0
+    wal_step: str = ""
     lock_tx_ids: dict[int, str] = field(default_factory=dict)
     commit_tx_ids: dict[int, str] = field(default_factory=dict)
     outcome: TransferOutcome | None = None
@@ -77,16 +118,74 @@ class CrossShardTransfer:
             subjects.append(self.target_subject)
         return subjects
 
+    # ------------------------------------------------------------------
+    # WAL round-trip (canonical-encodable: string keys, pair lists)
+    # ------------------------------------------------------------------
+    def to_wal_record(self, step: str) -> dict:
+        return {
+            "xid": self.xid,
+            "source_subject": self.source_subject,
+            "target_subject": self.target_subject,
+            "source_shard": self.source_shard,
+            "target_shard": self.target_shard,
+            "payload": dict(self.payload),
+            "started_round": self.started_round,
+            "deadline_round": self.deadline_round,
+            "timestamp": self.timestamp,
+            "state": self.state,
+            "epoch": self.epoch,
+            "step": step,
+            "lock_tx_ids": sorted(
+                [sid, tx_id] for sid, tx_id in self.lock_tx_ids.items()
+            ),
+            "commit_tx_ids": sorted(
+                [sid, tx_id] for sid, tx_id in self.commit_tx_ids.items()
+            ),
+        }
+
+    @classmethod
+    def from_wal_record(cls, rec: Mapping[str, Any]) -> CrossShardTransfer:
+        transfer = cls(
+            xid=str(rec["xid"]),
+            source_subject=str(rec["source_subject"]),
+            target_subject=str(rec["target_subject"]),
+            source_shard=int(rec["source_shard"]),
+            target_shard=int(rec["target_shard"]),
+            payload=dict(rec.get("payload", {})),
+            started_round=int(rec.get("started_round", 0)),
+            deadline_round=int(rec.get("deadline_round", 0)),
+            timestamp=int(rec.get("timestamp", 0)),
+            state=str(rec.get("state", PREPARING)),
+            epoch=int(rec.get("epoch", 0)),
+            wal_step=str(rec.get("step", "")),
+        )
+        transfer.lock_tx_ids = {
+            int(sid): str(tx_id)
+            for sid, tx_id in rec.get("lock_tx_ids", [])
+        }
+        transfer.commit_tx_ids = {
+            int(sid): str(tx_id)
+            for sid, tx_id in rec.get("commit_tx_ids", [])
+        }
+        return transfer
+
 
 class CrossShardCoordinator:
     """Drives cross-shard transfers phase by phase, one sealing round at
-    a time (attach to the facade; :meth:`on_round_sealed` is its tick)."""
+    a time (attach to the facade; :meth:`on_round_sealed` is its tick).
+    See the module docstring for the WAL / epoch / recovery contract."""
+
+    _SEQ_KEY = "xshard/seq"
+    _EPOCH_KEY = "xshard/epoch"
+    _ACTIVE_KEY = "xshard/active"
+    _T_PREFIX = "xshard/t/"
 
     def __init__(
         self,
         sharded: ShardedChain,
         timeout_rounds: int = 3,
         sender: str = "xshard-coordinator",
+        recover: bool = True,
     ) -> None:
         if timeout_rounds < 1:
             raise ShardError("timeout must be at least one round")
@@ -94,10 +193,32 @@ class CrossShardCoordinator:
         self.timeout_rounds = timeout_rounds
         self.sender = sender
         self.transfers: dict[str, CrossShardTransfer] = {}
-        self._seq = 0
         self.committed = 0
         self.aborted = 0
+        self.recovered = 0
+        # Crash-injection hooks (crash-matrix tests / chaos harness):
+        # raise CrashPoint immediately AFTER the matching WAL write, so
+        # every persisted step boundary is a kill site.
+        self.crash_at_step: str | None = None
+        self.crash_after_wal_writes: int | None = None
+        self.wal_writes = 0
+        # Generation fencing: every coordinator on this store gets a
+        # strictly increasing epoch, persisted before use.
+        self.epoch = int(sharded.get_meta(self._EPOCH_KEY, 0)) + 1
+        sharded.put_meta(self._EPOCH_KEY, self.epoch)
+        sharded.set_coordinator_epoch(self.epoch)
+        # Seed the xid sequence from the store: together with the epoch
+        # prefix this makes xids collision-free across restarts.
+        self._seq = int(sharded.get_meta(self._SEQ_KEY, 0))
+        registry = sharded.telemetry.registry
+        self._registry = registry
+        self._m_abort_legs_lost = registry.counter(
+            "xshard_abort_legs_lost_total"
+        )
         sharded.attach_coordinator(self)
+        self.last_recovery: dict | None = None
+        if recover:
+            self.last_recovery = self.recover()
 
     # ------------------------------------------------------------------
     # Phase 1: begin / prepare
@@ -113,8 +234,9 @@ class CrossShardCoordinator:
         """Start a handoff; returns the transfer (check ``state`` — a
         lock conflict aborts immediately rather than deadlocking)."""
         router = self.sharded.router
-        xid = f"xfer-{self._seq:06d}"
+        xid = f"xfer-e{self.epoch:03d}-{self._seq:06d}"
         self._seq += 1
+        self.sharded.put_meta(self._SEQ_KEY, self._seq)
         transfer = CrossShardTransfer(
             xid=xid,
             source_subject=source_subject,
@@ -125,41 +247,40 @@ class CrossShardCoordinator:
             started_round=self.sharded.rounds_sealed,
             deadline_round=self.sharded.rounds_sealed + self.timeout_rounds,
             timestamp=timestamp,
+            epoch=self.epoch,
         )
         transfer.payload.setdefault("actor", actor or self.sender)
         # Lock acquisition order is (shard, subject)-sorted so two
         # transfers over the same pair cannot deadlock.
-        wanted = sorted(
-            {(transfer.source_shard, source_subject),
-             (transfer.target_shard, target_subject)}
-        )
         acquired: list[tuple[int, str]] = []
-        for shard_id, subject in wanted:
-            if self.sharded.acquire_lock(shard_id, subject, xid):
+        for shard_id, subject in self._lock_pairs(transfer):
+            if self.sharded.acquire_lock(shard_id, subject, xid,
+                                         epoch=self.epoch):
                 acquired.append((shard_id, subject))
             else:
                 for got_shard, got_subject in acquired:
-                    self.sharded.release_lock(got_shard, got_subject, xid)
+                    self.sharded.release_lock(got_shard, got_subject, xid,
+                                              epoch=self.epoch)
+                # Nothing durable happened: no WAL entry, no legs.
                 transfer.state = ABORTED
                 transfer.outcome = self._outcome(transfer, "aborted",
                                                  reason="lock_conflict")
                 self.aborted += 1
+                self._count_abort("lock_conflict")
                 self.transfers[xid] = transfer
                 return transfer
+        self.transfers[xid] = transfer
+        self._wal_begin(transfer)
         try:
             for shard_id in transfer.participants:
                 tx = self._leg(transfer, shard_id, phase="lock")
-                self.sharded.submit_to(shard_id, tx)
                 transfer.lock_tx_ids[shard_id] = tx.tx_id
+                self._wal_write(transfer, f"lock_leg:{shard_id}")
+                self.sharded.submit_to(shard_id, tx)
         except ChainError:
             # A leg that cannot even be queued (full mempool) must not
             # leave the subjects locked forever.
-            self._release_locks(transfer)
-            transfer.state = ABORTED
-            transfer.outcome = self._outcome(transfer, "aborted",
-                                             reason="submit_failed")
-            self.aborted += 1
-        self.transfers[xid] = transfer
+            self._abort(transfer, reason="submit_failed")
         return transfer
 
     # ------------------------------------------------------------------
@@ -169,13 +290,67 @@ class CrossShardCoordinator:
         round_no = report.round_no
         for transfer in list(self.transfers.values()):
             if transfer.state == PREPARING:
-                if self._all_committed(transfer, transfer.lock_tx_ids):
+                if len(transfer.lock_tx_ids) == len(transfer.participants) \
+                        and self._all_committed(transfer,
+                                                transfer.lock_tx_ids):
                     self._start_commit(transfer)
                 elif round_no >= transfer.deadline_round:
                     self._abort(transfer, reason="prepare_timeout")
             elif transfer.state == COMMITTING:
                 if self._all_committed(transfer, transfer.commit_tx_ids):
                     self._finalize(transfer)
+            if transfer.state in (PREPARING, COMMITTING):
+                self._renew_leases(transfer)
+
+    # ------------------------------------------------------------------
+    # Recovery (WAL replay, presumed-abort)
+    # ------------------------------------------------------------------
+    def recover(self) -> dict:
+        """Replay the transfer WAL after a coordinator (or process)
+        death: re-own every in-flight transfer's locks under this
+        coordinator's epoch, finalize the transfers whose commit legs
+        are all on-chain (idempotently re-materializing the handoff
+        record pair), presumed-abort everything else, then sweep locks
+        stale generations left behind.  Safe to call on a fresh store
+        (empty WAL → no-op); returns a summary dict."""
+        summary: dict[str, Any] = {
+            "finalized": [], "aborted": [], "cleaned": [],
+            "locks_dropped": 0,
+        }
+        for xid in list(self.sharded.get_meta(self._ACTIVE_KEY, []) or []):
+            rec = self.sharded.get_meta(self._T_PREFIX + xid)
+            if rec is None:
+                self._active_remove(xid)
+                summary["cleaned"].append(xid)
+                continue
+            transfer = CrossShardTransfer.from_wal_record(rec)
+            self.transfers[xid] = transfer
+            if transfer.state in (COMMITTED, ABORTED):
+                # Terminal step persisted but the active-list update was
+                # lost with the crash: nothing to resolve, just clean up
+                # (any leftover locks fall to the stale sweep below).
+                self._active_remove(xid)
+                summary["cleaned"].append(xid)
+                continue
+            transfer.epoch = self.epoch
+            for shard_id, subject in self._lock_pairs(transfer):
+                self.sharded.reclaim_lock(shard_id, subject, xid,
+                                          self.epoch)
+            if transfer.state in (COMMITTING, FINALIZING) \
+                    and len(transfer.commit_tx_ids) \
+                    == len(transfer.participants) \
+                    and self._all_committed(transfer,
+                                            transfer.commit_tx_ids):
+                self._finalize(transfer)
+                summary["finalized"].append(xid)
+                self._count_recovered("finalized")
+            else:
+                self._abort(transfer, reason="recovered_presumed_abort")
+                summary["aborted"].append(xid)
+                self._count_recovered("aborted")
+            self.recovered += 1
+        summary["locks_dropped"] = self.sharded.drop_stale_locks(self.epoch)
+        return summary
 
     # ------------------------------------------------------------------
     # Queries
@@ -189,11 +364,67 @@ class CrossShardCoordinator:
     @property
     def active(self) -> list[CrossShardTransfer]:
         return [t for t in self.transfers.values()
-                if t.state in (PREPARING, COMMITTING)]
+                if t.state in (PREPARING, COMMITTING, FINALIZING)]
+
+    # ------------------------------------------------------------------
+    # WAL plumbing
+    # ------------------------------------------------------------------
+    def _wal_begin(self, transfer: CrossShardTransfer) -> None:
+        active = list(self.sharded.get_meta(self._ACTIVE_KEY, []) or [])
+        if transfer.xid not in active:
+            active.append(transfer.xid)
+            self.sharded.put_meta(self._ACTIVE_KEY, active)
+        self._wal_write(transfer, "begin")
+
+    def _wal_write(self, transfer: CrossShardTransfer, step: str) -> None:
+        """Persist the transfer's current state under ``step``, then
+        fire the crash hooks — the injected CrashPoint lands *after*
+        the write committed, which is exactly the boundary a real
+        process death exposes."""
+        transfer.wal_step = step
+        self.sharded.put_meta(self._T_PREFIX + transfer.xid,
+                              transfer.to_wal_record(step))
+        self.wal_writes += 1
+        if self.crash_after_wal_writes is not None \
+                and self.wal_writes >= self.crash_after_wal_writes:
+            raise CrashPoint(
+                f"injected coordinator crash after WAL write "
+                f"{self.wal_writes} (step {step!r})"
+            )
+        if self.crash_at_step is not None \
+                and self.crash_at_step in (step, step.split(":", 1)[0]):
+            raise CrashPoint(
+                f"injected coordinator crash at WAL step {step!r}"
+            )
+
+    def _wal_terminal(self, transfer: CrossShardTransfer,
+                      step: str) -> None:
+        self._wal_write(transfer, step)
+        self._active_remove(transfer.xid)
+
+    def _active_remove(self, xid: str) -> None:
+        active = list(self.sharded.get_meta(self._ACTIVE_KEY, []) or [])
+        if xid in active:
+            active.remove(xid)
+            self.sharded.put_meta(self._ACTIVE_KEY, active)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    @staticmethod
+    def _lock_pairs(transfer: CrossShardTransfer) -> list[tuple[int, str]]:
+        return sorted(
+            {(transfer.source_shard, transfer.source_subject),
+             (transfer.target_shard, transfer.target_subject)}
+        )
+
+    def _renew_leases(self, transfer: CrossShardTransfer) -> None:
+        # Re-acquiring with the owning xid renews the lease each round;
+        # a lease that expires therefore marks a dead coordinator.
+        for shard_id, subject in self._lock_pairs(transfer):
+            self.sharded.acquire_lock(shard_id, subject, transfer.xid,
+                                      epoch=self.epoch)
+
     def _leg(self, transfer: CrossShardTransfer, shard_id: int,
              phase: str) -> Transaction:
         """One on-chain protocol leg (lock / commit / abort)."""
@@ -201,6 +432,7 @@ class CrossShardCoordinator:
             "message_id": f"{transfer.xid}:{phase}:{shard_id}",
             "xid": transfer.xid,
             "phase": phase,
+            "epoch": self.epoch,
             "subjects": transfer.subjects_on(shard_id),
             "source": transfer.source_subject,
             "target": transfer.target_subject,
@@ -226,15 +458,16 @@ class CrossShardCoordinator:
         )
 
     def _start_commit(self, transfer: CrossShardTransfer) -> None:
+        transfer.state = COMMITTING
+        self._wal_write(transfer, "committing")
         try:
             for shard_id in transfer.participants:
                 tx = self._leg(transfer, shard_id, phase="commit")
-                self.sharded.submit_to(shard_id, tx)
                 transfer.commit_tx_ids[shard_id] = tx.tx_id
+                self._wal_write(transfer, f"commit_leg:{shard_id}")
+                self.sharded.submit_to(shard_id, tx)
         except ChainError:
             self._abort(transfer, reason="submit_failed")
-            return
-        transfer.state = COMMITTING
 
     # Record fields the transfer payload may never override: they carry
     # the protocol's identity, routing, and ordering.
@@ -244,8 +477,13 @@ class CrossShardCoordinator:
     )
 
     def _finalize(self, transfer: CrossShardTransfer) -> None:
-        """Both commit legs are on-chain: materialize the handoff records
-        and release the locks."""
+        """Both commit legs are on-chain: materialize the handoff
+        records, make them durable, then write the terminal WAL step
+        and release the locks.  Idempotent — recovery replays this for
+        a transfer that crashed mid-finalize, and records that already
+        exist are skipped (their anchor enqueue tolerates duplicates)."""
+        transfer.state = FINALIZING
+        self._wal_write(transfer, "finalizing")
         actor = str(transfer.payload.get("actor", self.sender))
         extra = {k: v for k, v in transfer.payload.items()
                  if k not in self._PROTECTED_FIELDS}
@@ -254,7 +492,7 @@ class CrossShardCoordinator:
             "timestamp": transfer.timestamp,
             "xid": transfer.xid,
         }
-        self.sharded.ingest_record({
+        self._materialize(transfer.source_shard, {
             **extra,
             "record_id": f"{transfer.xid}:out",
             "subject": transfer.source_subject,
@@ -262,7 +500,7 @@ class CrossShardCoordinator:
             "peer": transfer.target_subject,
             **base,
         })
-        self.sharded.ingest_record({
+        self._materialize(transfer.target_shard, {
             **extra,
             "record_id": f"{transfer.xid}:in",
             "subject": transfer.target_subject,
@@ -270,43 +508,81 @@ class CrossShardCoordinator:
             "peer": transfer.source_subject,
             **base,
         })
-        self._release_locks(transfer)
+        # The record pair must survive a crash that happens the instant
+        # the WAL says "finalized": checkpoint the participant stores
+        # BEFORE the terminal step (no-op on in-memory deployments).
+        for shard_id in transfer.participants:
+            self.sharded.shard(shard_id).checkpoint()
         transfer.state = COMMITTED
+        self._wal_terminal(transfer, "finalized")
+        self._release_locks(transfer)
         transfer.outcome = self._outcome(transfer, "completed")
         self.committed += 1
 
+    def _materialize(self, shard_id: int, record: dict) -> None:
+        """Insert one handoff record, idempotently: a replayed finalize
+        finds the record already stored (and possibly already anchored)
+        and must complete without double-inserting."""
+        shard = self.sharded.shard(shard_id)
+        if not shard.database.contains(record["record_id"]):
+            self.sharded.ingest_record(record)
+            return
+        try:
+            # Present but maybe not anchored (anchor-service state is
+            # checkpointed meta and can trail the record log): re-queue.
+            shard.anchor.enqueue(shard.database.get(record["record_id"]))
+            shard.query.notify_write()
+        except AnchorError:
+            pass  # already anchored or pending — nothing to redo
+
     def _abort(self, transfer: CrossShardTransfer, reason: str) -> None:
-        """Timeout path: leave an on-chain abort record where we can,
-        then unlock — the subjects accept writes again immediately."""
+        """Abort path: persist intent, leave an on-chain abort record
+        where we can, then unlock — the subjects accept writes again
+        immediately.  Legs a shard cannot take right now are *counted*
+        (``xshard_abort_legs_lost_total`` + the outcome's
+        ``abort_legs_lost``) so incomplete abort audit trails are
+        visible to operators instead of silently dropped."""
+        transfer.state = ABORTING
+        self._wal_write(transfer, "aborting")
+        legs_lost = 0
         for shard_id in transfer.participants:
             try:
                 self.sharded.submit_to(
                     shard_id, self._leg(transfer, shard_id, phase="abort")
                 )
             except ChainError:
-                # Best-effort audit trail; the unlock below must happen
-                # even when a shard cannot take the abort leg right now.
-                pass
-        self._release_locks(transfer)
+                legs_lost += 1
+        if legs_lost:
+            self._m_abort_legs_lost.inc(legs_lost)
         transfer.state = ABORTED
-        transfer.outcome = self._outcome(transfer, "aborted", reason=reason)
+        self._wal_terminal(transfer, "aborted")
+        self._release_locks(transfer)
+        transfer.outcome = self._outcome(transfer, "aborted",
+                                         reason=reason,
+                                         abort_legs_lost=legs_lost)
         self.aborted += 1
+        self._count_abort(reason)
 
     def _release_locks(self, transfer: CrossShardTransfer) -> None:
-        self.sharded.release_lock(
-            transfer.source_shard, transfer.source_subject, transfer.xid
-        )
-        self.sharded.release_lock(
-            transfer.target_shard, transfer.target_subject, transfer.xid
-        )
+        for shard_id, subject in self._lock_pairs(transfer):
+            self.sharded.release_lock(shard_id, subject, transfer.xid,
+                                      epoch=self.epoch)
+
+    def _count_abort(self, reason: str) -> None:
+        self._registry.counter("xshard_aborts_total", reason=reason).inc()
+
+    def _count_recovered(self, resolution: str) -> None:
+        self._registry.counter("xshard_transfers_recovered_total",
+                               resolution=resolution).inc()
 
     def _outcome(self, transfer: CrossShardTransfer, status: str,
-                 reason: str = "") -> TransferOutcome:
+                 reason: str = "", **extra_fields: Any) -> TransferOutcome:
         n = len(transfer.participants)
         legs = len(transfer.lock_tx_ids) + len(transfer.commit_tx_ids)
         extra = {"xid": transfer.xid, "cross_shard": transfer.is_cross_shard}
         if reason:
             extra["reason"] = reason
+        extra.update(extra_fields)
         return TransferOutcome(
             mechanism="shard-2pc",
             status=status,

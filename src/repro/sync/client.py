@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from ..chain.block import GENESIS_PREV_HASH
 from ..chain.state import StateStore
 from ..errors import SerializationError, StorageError, SyncError
-from ..network.message import NetMessage
+from ..net_retry import RetryPolicy, request_with_retries
 from ..obs.runtime import telemetry as default_telemetry
 from ..persist.codec import decode_block
 from ..persist.durable import DurableStorage
@@ -121,35 +121,36 @@ class SnapshotClient:
         self.report.errors.append(err.as_dict())
         return err
 
+    def _count_attempt(self, attempt: int) -> None:
+        self.report.requests += 1
+        if attempt:
+            self.report.retries += 1
+
     def _request(self, topic: str, body: dict) -> dict:
         req_id = f"{self.node.node_id}:{self._req_seq}"
         self._req_seq += 1
         body = dict(body, shard_id=self.shard_id, req=True, req_id=req_id)
-        for attempt in range(self.max_retries + 1):
-            self.report.requests += 1
-            if attempt:
-                self.report.retries += 1
-            self.node.net.send(NetMessage(
-                sender=self.node.node_id, recipient=self.peer,
-                topic=topic, body=body,
-            ))
-            self.node.net.run()
-            resp = self._responses.pop(req_id, None)
-            if resp is None:
-                continue
-            if "error" in resp:
-                err = dict(resp["error"])
-                raise self._fail(
-                    f"peer {self.peer} refused {topic}: "
-                    f"{resp.get('message', err.get('reason'))}",
-                    reason=str(err.get("reason", "peer_error")),
-                )
-            return resp
-        raise self._fail(
-            f"peer {self.peer} did not answer {topic} after "
-            f"{self.max_retries + 1} attempts",
-            reason="peer_unresponsive",
+        resp = request_with_retries(
+            self.node, self.peer, topic, body,
+            req_id=req_id,
+            responses=self._responses,
+            policy=RetryPolicy(max_retries=self.max_retries),
+            on_attempt=self._count_attempt,
         )
+        if resp is None:
+            raise self._fail(
+                f"peer {self.peer} did not answer {topic} after "
+                f"{self.max_retries + 1} attempts",
+                reason="peer_unresponsive",
+            )
+        if "error" in resp:
+            err = dict(resp["error"])
+            raise self._fail(
+                f"peer {self.peer} refused {topic}: "
+                f"{resp.get('message', err.get('reason'))}",
+                reason=str(err.get("reason", "peer_error")),
+            )
+        return resp
 
     # ------------------------------------------------------------------
     # The sync pipeline

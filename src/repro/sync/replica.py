@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from ..chain import ChainParams
 from ..errors import QueryError, SyncError
+from ..net_retry import failover
 from ..network.node import ChainNode
 from ..sharding.query import FederatedProof
 from ..sharding.shardchain import Shard
@@ -87,9 +88,9 @@ class ShardReplica:
         if min_height <= 1 and local_height > 0:
             # Re-sync: never accept an offer behind what we already have.
             min_height = local_height
-        last_error: SyncError | None = None
-        for peer in self.peers:
-            client = SnapshotClient(
+
+        def sync_from(peer: str) -> SyncReport:
+            return SnapshotClient(
                 node=self.node,
                 peer=peer,
                 shard_id=self.shard_id,
@@ -101,18 +102,13 @@ class ShardReplica:
                 tail_batch=tail_batch,
                 deep_verify=deep_verify,
                 crash_after_chunks=crash_after_chunks,
-            )
-            try:
-                self.last_report = client.sync()
-                break
-            except SyncError as exc:
-                last_error = exc
-                continue
-        else:
-            raise last_error if last_error is not None else SyncError(
-                "no peers available", reason="no_peers",
-                shard_id=self.shard_id,
-            )
+            ).sync()
+
+        self.last_report = failover(
+            self.peers, sync_from,
+            empty_error=SyncError("no peers available", reason="no_peers",
+                                  shard_id=self.shard_id),
+        )
         self._open()
         return self.last_report
 
