@@ -5,8 +5,9 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test test-persist test-sync test-exec test-obs test-chaos \
-        bench-smoke bench-hotpath bench-shard bench-persist bench-ingest \
-        bench-sync bench-exec bench-obs bench-all check
+        test-gateway bench-smoke bench-hotpath bench-shard bench-persist \
+        bench-ingest bench-sync bench-exec bench-obs bench-gateway \
+        bench-all check
 
 # Tier-1 verification: the full test suite.
 test:
@@ -32,6 +33,12 @@ test-exec:
 # regressions, ops/metrics over SimNet.
 test-obs:
 	$(PYTHON) -m pytest tests/test_obs.py -q
+
+# Gateway suite only: framed wire codec, handshake, wire backpressure
+# (RETRY_AFTER + pause), byte-identical commitments vs in-process,
+# disconnect handling, graceful drain under load.
+test-gateway:
+	$(PYTHON) -m pytest tests/test_gateway.py -q
 
 # Chaos suite: the 2PC crash matrix (coordinator killed at every WAL
 # step boundary), lock-lease/fencing/quarantine coverage, plus the
@@ -84,10 +91,17 @@ bench-exec:
 bench-obs:
 	$(PYTHON) benchmarks/bench_obs.py
 
+# Full gateway benchmark; writes BENCH_gateway.json and asserts the
+# acceptance floors (1000 socket clients >= 0.5x in-process throughput,
+# submit ack p99 within 3x fair share, zero loss under a QueueFull
+# storm).
+bench-gateway:
+	$(PYTHON) benchmarks/bench_gateway.py
+
 # Every BENCH_*.json producer at full size, floors asserted — a perf
 # regression anywhere fails this target.
 bench-all: bench-hotpath bench-shard bench-persist bench-ingest \
-           bench-sync bench-exec bench-obs
+           bench-sync bench-exec bench-obs bench-gateway
 
 # CI-style verification in one command: tier-1 tests, the seeded chaos
 # smoke (3 fault plans, each run twice — deterministic per seed), plus a
@@ -102,3 +116,4 @@ check: test
 	$(PYTHON) benchmarks/bench_sync.py --smoke
 	$(PYTHON) benchmarks/bench_exec.py --smoke
 	$(PYTHON) benchmarks/bench_obs.py --smoke
+	$(PYTHON) benchmarks/bench_gateway.py --smoke

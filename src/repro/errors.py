@@ -44,6 +44,15 @@ class SealedMutation(ChainError):
     """A sealed (frozen) transaction or header was mutated."""
 
 
+# A retry-after of zero is a footgun the moment the signal crosses a
+# socket: a well-behaved remote client that honors the hint verbatim
+# retries *immediately* and hot-loops the gateway.  Every QueueFull is
+# therefore clamped to this floor (callers with a better estimate — the
+# sharded facade's round-pace EWMA — pass a larger value, or their own
+# floor via ``min_retry_after_s``).
+RETRY_AFTER_FLOOR_S = 0.010
+
+
 class QueueFull(InvalidTransaction):
     """A bounded admission queue (ingest queue or mempool) is at capacity.
 
@@ -55,22 +64,28 @@ class QueueFull(InvalidTransaction):
 
     ``retry_after_rounds`` counts sealing rounds expected before the
     queue drains below its high watermark; ``retry_after_s`` converts
-    that to wall time using the ingest layer's recent round pace (0.0
-    when no round has been observed yet).
+    that to wall time using the ingest layer's recent round pace.  The
+    wall estimate is never zero: it is clamped to ``min_retry_after_s``
+    (default :data:`RETRY_AFTER_FLOOR_S`) so a remote client honoring
+    it verbatim backs off instead of hot-looping — including in the
+    pre-first-seal window where no round pace has been observed yet.
     """
 
     def __init__(self, message: str, *, shard_id: int | None = None,
                  depth: int = 0, capacity: int = 0,
                  high_watermark: int = 0,
                  retry_after_rounds: int = 1,
-                 retry_after_s: float = 0.0) -> None:
+                 retry_after_s: float = 0.0,
+                 min_retry_after_s: float | None = None) -> None:
         super().__init__(message)
         self.shard_id = shard_id
         self.depth = depth
         self.capacity = capacity
         self.high_watermark = high_watermark
         self.retry_after_rounds = retry_after_rounds
-        self.retry_after_s = retry_after_s
+        if min_retry_after_s is None:
+            min_retry_after_s = RETRY_AFTER_FLOOR_S
+        self.retry_after_s = max(retry_after_s, min_retry_after_s)
 
     def as_dict(self) -> dict:
         """Structured form for reports, logs, and wire responses."""
@@ -162,6 +177,30 @@ class SyncError(NetworkError):
             "peer": self.peer,
             "detail": self.detail,
         }
+
+
+class GatewayError(NetworkError):
+    """A socket-gateway protocol failure (see :mod:`repro.gateway`).
+
+    ``reason`` is a stable machine code so clients and tests can drive
+    policy without parsing messages: ``"frame_too_large"``,
+    ``"corrupt_frame"``, ``"protocol"`` (op/sequence violations),
+    ``"draining"`` (server refusing new work during graceful shutdown),
+    ``"connection_closed"`` (peer vanished mid-exchange), and
+    ``"backpressure_budget"`` (client retry budget exhausted with
+    submissions still backpressured — nothing was dropped; the
+    unaccepted transactions ride on ``pending``).
+    """
+
+    def __init__(self, message: str, *, reason: str = "gateway_error",
+                 pending: list | None = None) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.pending = pending if pending is not None else []
+
+    def as_dict(self) -> dict:
+        """Structured form for wire ``error`` frames and logs."""
+        return {"reason": self.reason, "message": str(self)}
 
 
 class ContractError(ReproError):

@@ -1,0 +1,371 @@
+"""Pure-python gateway clients: asyncio and blocking-socket twins.
+
+Both speak the frame grammar in :mod:`repro.gateway.frames` and share
+one retry discipline, driven by the async-aware face of
+:class:`~repro.net_retry.RetryPolicy`:
+
+* :meth:`submit` is **one** wire round trip — send a batch, collect the
+  streamed ``RETRY_AFTER`` chunks and the final ``REPORT``, and return
+  a :class:`SubmitResult`.  Backpressure is data, not an exception.
+* :meth:`submit_with_retry` is the loop capture sources actually want:
+  bounced transactions are re-submitted after sleeping the larger of
+  the server's retry-after hint and the policy's exponential schedule.
+  When the attempt budget runs out the *still-pending* transactions
+  come back attached to a :class:`~repro.errors.GatewayError`
+  (``reason="backpressure_budget"``) — the client never silently drops
+  a capture event, mirroring the server's never-drop contract.
+
+The sync client exists so capture processes without an event loop (the
+IoT-fleet example, benchmark drivers, REPL poking) get the identical
+protocol with ``time.sleep`` in place of ``asyncio.sleep``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from dataclasses import dataclass, field
+
+from ..errors import GatewayError
+from ..net_retry import RetryPolicy, sleep_backoff
+from .frames import (
+    OP_BYE,
+    OP_ERROR,
+    OP_GOODBYE,
+    OP_HELLO,
+    OP_HELLO_OK,
+    OP_OPS,
+    OP_OPS_OK,
+    OP_PING,
+    OP_PONG,
+    OP_REPORT,
+    OP_RETRY_AFTER,
+    PROTOCOL_VERSION,
+    encode_frame,
+    read_frame,
+    read_frame_sync,
+    txs_to_frame_body,
+)
+
+__all__ = ["SubmitResult", "AsyncGatewayClient", "GatewayClient"]
+
+
+@dataclass
+class SubmitResult:
+    """Outcome of one submit round trip (or one retry loop).
+
+    ``rejected`` pairs each bounced tx id with the structured
+    backpressure mapping off the wire (``retry_after_s``, ``depth``,
+    ``capacity``, ...); ``retry_after_s`` is the server's soonest-retry
+    hint for the whole batch (0.0 when nothing bounced)."""
+
+    queued: int = 0
+    queued_by_shard: dict = field(default_factory=dict)
+    rejected: list = field(default_factory=list)
+    retry_after_s: float = 0.0
+    attempts: int = 1
+    waited_s: float = 0.0
+
+    @property
+    def rejected_ids(self) -> list[str]:
+        return [entry["tx_id"] for entry in self.rejected]
+
+
+def _raise_wire_error(body: dict) -> None:
+    raise GatewayError(
+        str(body.get("message", "gateway error")),
+        reason=str(body.get("reason", "gateway_error")),
+    )
+
+
+def _fold_reply(result: SubmitResult, body: dict) -> bool:
+    """Fold one reply frame into ``result``; True once the final REPORT
+    has landed."""
+    op = body.get("op")
+    if op == OP_ERROR:
+        _raise_wire_error(body)
+    if op == OP_GOODBYE:
+        # The server drained mid-exchange: this submit was NOT acked.
+        raise GatewayError("server drained the connection before "
+                           "acknowledging the submit", reason="draining")
+    if op == OP_RETRY_AFTER:
+        result.rejected.extend(body.get("rejected", []))
+        return False
+    if op == OP_REPORT:
+        result.queued += int(body.get("queued", 0))
+        for sid, n in body.get("queued_by_shard", {}).items():
+            result.queued_by_shard[int(sid)] = \
+                result.queued_by_shard.get(int(sid), 0) + int(n)
+        result.retry_after_s = float(body.get("retry_after_s", 0.0))
+        return bool(body.get("final", True))
+    raise GatewayError(f"unexpected reply op {op!r} to a submit",
+                       reason="protocol")
+
+
+def _pending_after(txs, result: SubmitResult) -> list:
+    bounced = set(result.rejected_ids)
+    return [tx for tx in txs if tx.tx_id in bounced]
+
+
+def _budget_error(pending, attempts: int) -> GatewayError:
+    return GatewayError(
+        f"{len(pending)} transaction(s) still backpressured after "
+        f"{attempts} attempts; resubmit exc.pending",
+        reason="backpressure_budget",
+        pending=list(pending),
+    )
+
+
+class AsyncGatewayClient:
+    """One framed connection to a :class:`~repro.gateway.server.
+    GatewayServer`, asyncio flavour.  Construct via :meth:`connect`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, tenant: str,
+                 policy: RetryPolicy | None = None) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.tenant = tenant
+        self.policy = policy or RetryPolicy()
+        self.conn_id: int | None = None
+        self.server_draining = False
+        self._seq = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int, tenant: str = "default",
+                      policy: RetryPolicy | None = None
+                      ) -> "AsyncGatewayClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer, tenant, policy)
+        await client._hello()
+        return client
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    async def _send(self, body: dict) -> None:
+        self._writer.write(encode_frame(body))
+        await self._writer.drain()
+
+    async def _recv(self) -> dict:
+        body = await read_frame(self._reader)
+        if body is None:
+            raise GatewayError("server closed the connection",
+                               reason="connection_closed")
+        return body
+
+    async def _hello(self) -> None:
+        await self._send({"op": OP_HELLO, "seq": self._next_seq(),
+                          "proto": PROTOCOL_VERSION,
+                          "tenant": self.tenant})
+        body = await self._recv()
+        if body.get("op") == OP_ERROR:
+            _raise_wire_error(body)
+        if body.get("op") != OP_HELLO_OK:
+            raise GatewayError("handshake got no hello_ok",
+                               reason="protocol")
+        self.conn_id = int(body.get("conn_id", 0))
+        self.server_draining = bool(body.get("draining", False))
+
+    async def submit(self, txs) -> SubmitResult:
+        """One batched submit round trip (no retries — see
+        :meth:`submit_with_retry`)."""
+        txs = list(txs)
+        seq = self._next_seq()
+        await self._send(txs_to_frame_body(txs, seq))
+        result = SubmitResult()
+        while not _fold_reply(result, await self._recv()):
+            pass
+        return result
+
+    async def submit_with_retry(self, txs,
+                                max_attempts: int | None = None,
+                                rng=None) -> SubmitResult:
+        """Submit until everything is queued or the budget runs out.
+
+        Sleeps :meth:`RetryPolicy.backoff_s` between attempts — the
+        larger of the server's ``RETRY_AFTER`` hint and the exponential
+        schedule.  Exhausting the budget raises
+        :class:`~repro.errors.GatewayError`
+        (``reason="backpressure_budget"``) with the still-pending
+        transactions on ``exc.pending`` — nothing is silently dropped.
+        """
+        attempts = (max_attempts if max_attempts is not None
+                    else self.policy.max_retries + 1)
+        pending = list(txs)
+        total = SubmitResult(attempts=0)
+        for attempt in range(attempts):
+            if attempt:
+                total.waited_s += await sleep_backoff(
+                    self.policy, attempt, hint_s=total.retry_after_s,
+                    rng=rng,
+                )
+            total.attempts += 1
+            result = await self.submit(pending)
+            total.queued += result.queued
+            for sid, n in result.queued_by_shard.items():
+                total.queued_by_shard[sid] = \
+                    total.queued_by_shard.get(sid, 0) + n
+            total.retry_after_s = result.retry_after_s
+            pending = _pending_after(pending, result)
+            if not pending:
+                total.rejected = []
+                return total
+            total.rejected = result.rejected
+        raise _budget_error(pending, total.attempts)
+
+    async def ops(self) -> dict:
+        """The socket ops surface: registry snapshot + health rollup."""
+        await self._send({"op": OP_OPS, "seq": self._next_seq()})
+        body = await self._recv()
+        if body.get("op") == OP_ERROR:
+            _raise_wire_error(body)
+        if body.get("op") != OP_OPS_OK:
+            raise GatewayError("ops got no ops_ok", reason="protocol")
+        return body
+
+    async def ping(self) -> float:
+        t0 = time.perf_counter()
+        await self._send({"op": OP_PING, "seq": self._next_seq()})
+        body = await self._recv()
+        if body.get("op") != OP_PONG:
+            raise GatewayError("ping got no pong", reason="protocol")
+        return time.perf_counter() - t0
+
+    async def close(self) -> None:
+        """Polite goodbye; tolerates a server that already hung up."""
+        try:
+            await self._send({"op": OP_BYE, "seq": self._next_seq()})
+            body = await read_frame(self._reader)
+            if body is not None and body.get("op") != OP_GOODBYE:
+                pass  # server may interleave late frames; we are leaving
+        except (GatewayError, ConnectionError, OSError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncGatewayClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+
+class GatewayClient:
+    """Blocking-socket twin of :class:`AsyncGatewayClient` — identical
+    protocol and retry discipline with ``time.sleep`` backoff."""
+
+    def __init__(self, host: str, port: int, tenant: str = "default",
+                 policy: RetryPolicy | None = None,
+                 timeout_s: float | None = 30.0) -> None:
+        self.tenant = tenant
+        self.policy = policy or RetryPolicy()
+        self.conn_id: int | None = None
+        self.server_draining = False
+        self._seq = 0
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout_s)
+        try:
+            self._hello()
+        except BaseException:
+            self._sock.close()
+            raise
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _send(self, body: dict) -> None:
+        self._sock.sendall(encode_frame(body))
+
+    def _recv(self) -> dict:
+        body = read_frame_sync(self._sock)
+        if body is None:
+            raise GatewayError("server closed the connection",
+                               reason="connection_closed")
+        return body
+
+    def _hello(self) -> None:
+        self._send({"op": OP_HELLO, "seq": self._next_seq(),
+                    "proto": PROTOCOL_VERSION, "tenant": self.tenant})
+        body = self._recv()
+        if body.get("op") == OP_ERROR:
+            _raise_wire_error(body)
+        if body.get("op") != OP_HELLO_OK:
+            raise GatewayError("handshake got no hello_ok",
+                               reason="protocol")
+        self.conn_id = int(body.get("conn_id", 0))
+        self.server_draining = bool(body.get("draining", False))
+
+    def submit(self, txs) -> SubmitResult:
+        txs = list(txs)
+        self._send(txs_to_frame_body(txs, self._next_seq()))
+        result = SubmitResult()
+        while not _fold_reply(result, self._recv()):
+            pass
+        return result
+
+    def submit_with_retry(self, txs, max_attempts: int | None = None,
+                          rng=None) -> SubmitResult:
+        """Sync twin of :meth:`AsyncGatewayClient.submit_with_retry`
+        (same budget contract, same ``backpressure_budget`` error)."""
+        attempts = (max_attempts if max_attempts is not None
+                    else self.policy.max_retries + 1)
+        pending = list(txs)
+        total = SubmitResult(attempts=0)
+        for attempt in range(attempts):
+            if attempt:
+                wait_s = self.policy.backoff_s(
+                    attempt, rng, hint_s=total.retry_after_s
+                )
+                total.waited_s += wait_s
+                time.sleep(wait_s)
+            total.attempts += 1
+            result = self.submit(pending)
+            total.queued += result.queued
+            for sid, n in result.queued_by_shard.items():
+                total.queued_by_shard[sid] = \
+                    total.queued_by_shard.get(sid, 0) + n
+            total.retry_after_s = result.retry_after_s
+            pending = _pending_after(pending, result)
+            if not pending:
+                total.rejected = []
+                return total
+            total.rejected = result.rejected
+        raise _budget_error(pending, total.attempts)
+
+    def ops(self) -> dict:
+        self._send({"op": OP_OPS, "seq": self._next_seq()})
+        body = self._recv()
+        if body.get("op") == OP_ERROR:
+            _raise_wire_error(body)
+        if body.get("op") != OP_OPS_OK:
+            raise GatewayError("ops got no ops_ok", reason="protocol")
+        return body
+
+    def ping(self) -> float:
+        t0 = time.perf_counter()
+        self._send({"op": OP_PING, "seq": self._next_seq()})
+        body = self._recv()
+        if body.get("op") != OP_PONG:
+            raise GatewayError("ping got no pong", reason="protocol")
+        return time.perf_counter() - t0
+
+    def close(self) -> None:
+        try:
+            self._send({"op": OP_BYE, "seq": self._next_seq()})
+            read_frame_sync(self._sock)
+        except (GatewayError, ConnectionError, OSError):
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,491 @@
+"""``GatewayServer``: the asyncio network front door.
+
+Terminates O(1000) concurrent framed-socket capture clients into one
+:class:`~repro.ingest.pipeline.IngestPipeline`.  See the package
+docstring for the frame grammar, the backpressure state machine, and
+the drain semantics; this module is the event-loop half:
+
+* one reader task per connection (``asyncio.start_server``);
+* SUBMIT frames decode to transaction batches and land in the pipeline
+  via one ``submit_many`` call — the ack streams back as chunked
+  ``RETRY_AFTER`` frames (one per slice of bounced transactions, each
+  carrying the structured :class:`~repro.errors.QueueFull` fields) and
+  a final ``REPORT`` frame with totals;
+* repeat offenders are paused: a connection whose last
+  ``pause_after`` submits were all backpressured stops being *read*
+  for the advertised retry-after (the kernel's TCP window then pushes
+  back on the client for us);
+* sealing runs off-loop (``auto_seal=True``) so admission latency stays
+  decoupled from round sealing;
+* :meth:`drain` is the graceful shutdown: new connects refused,
+  in-flight submits answered, the pipeline pumped dry, every client
+  dismissed with a ``GOODBYE`` frame.
+
+Every structural event lands in the shared telemetry registry under
+``gateway_*`` names with per-tenant labels, and sampled submits open
+``gateway.submit`` root spans — the same observability surface as the
+in-process path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import asdict
+from typing import Any
+
+from ..errors import GatewayError, ReproError
+from ..obs.runtime import telemetry as default_telemetry
+from . import frames
+from .frames import (
+    OP_BYE,
+    OP_GOODBYE,
+    OP_HELLO,
+    OP_HELLO_OK,
+    OP_OPS,
+    OP_OPS_OK,
+    OP_PING,
+    OP_PONG,
+    OP_REPORT,
+    OP_RETRY_AFTER,
+    OP_SUBMIT,
+    PROTOCOL_VERSION,
+    encode_frame,
+    error_body,
+    frame_to_txs,
+    read_frame,
+)
+
+
+class _ConnectionGone(Exception):
+    """Internal: the peer vanished while we were writing to it."""
+
+
+class _Connection:
+    """Per-connection state the reader task threads through handlers."""
+
+    __slots__ = ("reader", "writer", "conn_id", "tenant", "strikes",
+                 "paused_s", "frames_in", "txs_in", "alive")
+
+    def __init__(self, reader, writer, conn_id: int) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.conn_id = conn_id
+        self.tenant = "unknown"
+        self.strikes = 0          # consecutive submits that got bounced
+        self.paused_s = 0.0
+        self.frames_in = 0
+        self.txs_in = 0
+        self.alive = True
+
+
+class GatewayServer:
+    """Asyncio front door for one ingest pipeline (module docstring)."""
+
+    def __init__(
+        self,
+        pipeline,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        auto_seal: bool = False,
+        seal_interval_s: float = 0.005,
+        report_chunk: int = 512,
+        pause_after: int = 3,
+        pause_cap_s: float = 0.5,
+        telemetry=None,
+    ) -> None:
+        if report_chunk < 1:
+            raise GatewayError("report_chunk must be >= 1")
+        if pause_after < 1:
+            raise GatewayError("pause_after must be >= 1")
+        self.pipeline = pipeline
+        self.host = host
+        self.port = port
+        self.auto_seal = auto_seal
+        self.seal_interval_s = seal_interval_s
+        self.report_chunk = report_chunk
+        self.pause_after = pause_after
+        self.pause_cap_s = pause_cap_s
+        self.telemetry = telemetry if telemetry is not None \
+            else default_telemetry()
+        self._server: asyncio.AbstractServer | None = None
+        self._sealer_task: asyncio.Task | None = None
+        self._connections: dict[int, _Connection] = {}
+        self._conn_seq = 0
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        self._stopped = False
+        # Serializes seal rounds across the executor thread and drain.
+        self._seal_lock = threading.Lock()
+        registry = self.telemetry.registry
+        self._tracer = self.telemetry.tracer
+        self._m_conns = registry.counter("gateway_connections_total")
+        self._m_active = registry.gauge("gateway_connections_active")
+        self._m_aborted = registry.counter(
+            "gateway_connections_aborted_total"
+        )
+        self._m_frames_in = {}   # op -> counter, filled lazily
+        self._m_frames_out = registry.counter("gateway_frames_sent_total")
+        self._m_undeliverable = registry.counter(
+            "gateway_frames_undeliverable_total", transport="socket"
+        )
+        self._m_txs_rejected = registry.counter(
+            "gateway_txs_rejected_total"
+        )
+        self._m_pauses = registry.counter("gateway_pauses_total")
+        self._m_pause_s = registry.counter("gateway_pause_seconds_total")
+        self._m_seal_errors = registry.counter("gateway_seal_errors_total")
+        self._m_submit_s = registry.histogram("gateway_submit_seconds")
+        self._m_batch_txs = registry.histogram(
+            "gateway_submit_batch_txs",
+            buckets=(1, 8, 32, 128, 512, 2048),
+        )
+        self._m_tenant_txs: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise GatewayError("server already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        if self.auto_seal:
+            self._sealer_task = asyncio.ensure_future(self._sealer())
+        return self.host, self.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    @property
+    def active_connections(self) -> int:
+        return len(self._connections)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def _sealer(self) -> None:
+        """Background sealing: pump + seal whenever there is backlog,
+        off the event loop so admission keeps its microsecond acks."""
+        loop = asyncio.get_running_loop()
+        pipeline = self.pipeline
+        while not self._stopped:
+            if pipeline.backlog or pipeline.sharded.mempool_backlog:
+                try:
+                    await loop.run_in_executor(None, self._seal_once)
+                except ReproError:
+                    self._m_seal_errors.inc()
+            else:
+                await asyncio.sleep(self.seal_interval_s)
+
+    def _seal_once(self) -> None:
+        with self._seal_lock:
+            self.pipeline.seal_round()
+
+    def _drain_pipeline_blocking(self) -> None:
+        with self._seal_lock:
+            if (self.pipeline.backlog
+                    or self.pipeline.sharded.mempool_backlog):
+                self.pipeline.run_until_drained()
+
+    async def drain(self, drain_pipeline: bool = True) -> None:
+        """Graceful shutdown: refuse new connections, finish in-flight
+        submits, pump the queues dry, dismiss every client.
+
+        Order matters and is part of the contract:
+
+        1. the acceptor closes — a new ``connect()`` is refused at the
+           socket level;
+        2. submits already *being handled* finish and their reports
+           flush (``_inflight`` reaches zero); submits arriving after
+           this point are answered with a structured
+           ``error/"draining"`` frame, which well-behaved clients
+           surface as :class:`~repro.errors.GatewayError`;
+        3. the pipeline is pumped and sealed until queues and mempools
+           are empty (``drain_pipeline=False`` skips this for callers
+           that own sealing);
+        4. every surviving connection gets a ``GOODBYE`` frame and is
+           closed.  Nothing submitted-and-acked is lost: it was either
+           sealed in step 3 or sits in the mempool of a facade the
+           caller keeps.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self._idle.wait()
+        if self._sealer_task is not None:
+            self._stopped = True
+            await self._sealer_task
+            self._sealer_task = None
+        if drain_pipeline:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._drain_pipeline_blocking)
+        for conn in list(self._connections.values()):
+            try:
+                await self._send_frames(conn, [{"op": OP_GOODBYE}])
+            except _ConnectionGone:
+                pass   # already counted undeliverable; just close
+            await self._close_connection(conn)
+
+    async def stop(self) -> None:
+        """Drain, then fully stop (idempotent)."""
+        if not self._stopped or self._connections:
+            await self.drain()
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Frame plumbing
+    # ------------------------------------------------------------------
+    def _count_frame_in(self, op: str) -> None:
+        counter = self._m_frames_in.get(op)
+        if counter is None:
+            counter = self.telemetry.registry.counter(
+                "gateway_frames_total", op=op
+            )
+            self._m_frames_in[op] = counter
+        counter.inc()
+
+    def _tenant_counter(self, tenant: str):
+        counter = self._m_tenant_txs.get(tenant)
+        if counter is None:
+            counter = self.telemetry.registry.counter(
+                "gateway_txs_submitted_total", tenant=tenant
+            )
+            self._m_tenant_txs[tenant] = counter
+        return counter
+
+    async def _send_frames(self, conn: _Connection, bodies) -> None:
+        """Write frames to one client; a peer that vanished mid-reply
+        (disconnect during a batched/streamed response) is *counted* —
+        every unflushed frame lands on
+        ``gateway_frames_undeliverable_total`` — never raised through
+        the event loop."""
+        bodies = list(bodies)
+        if not conn.alive:
+            self._m_undeliverable.inc(len(bodies))
+            raise _ConnectionGone()
+        for i, body in enumerate(bodies):
+            try:
+                conn.writer.write(encode_frame(body))
+                await conn.writer.drain()
+                self._m_frames_out.inc()
+            except (ConnectionError, OSError):
+                conn.alive = False
+                self._m_undeliverable.inc(len(bodies) - i)
+                raise _ConnectionGone() from None
+
+    async def _close_connection(self, conn: _Connection) -> None:
+        conn.alive = False
+        if self._connections.pop(conn.conn_id, None) is not None:
+            self._m_active.dec()
+        try:
+            conn.writer.close()
+            await conn.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    # ------------------------------------------------------------------
+    # Connection handler
+    # ------------------------------------------------------------------
+    async def _serve_connection(self, reader, writer) -> None:
+        self._conn_seq += 1
+        conn = _Connection(reader, writer, self._conn_seq)
+        self._connections[conn.conn_id] = conn
+        self._m_conns.inc()
+        self._m_active.inc()
+        try:
+            while conn.alive:
+                try:
+                    body = await read_frame(reader)
+                except GatewayError as exc:
+                    # Truncated frame / oversize / garbage: the client
+                    # died mid-write or is speaking something else.
+                    # Count it, best-effort error frame, hang up.
+                    self._m_aborted.inc()
+                    if exc.reason != "connection_closed":
+                        try:
+                            await self._send_frames(
+                                conn, [error_body(exc)]
+                            )
+                        except _ConnectionGone:
+                            pass
+                    break
+                if body is None:
+                    break  # clean EOF between frames
+                conn.frames_in += 1
+                op = str(body.get("op"))
+                self._count_frame_in(op)
+                try:
+                    if op == OP_SUBMIT:
+                        await self._handle_submit(conn, body)
+                    elif op == OP_HELLO:
+                        await self._handle_hello(conn, body)
+                    elif op == OP_OPS:
+                        await self._handle_ops(conn, body)
+                    elif op == OP_PING:
+                        await self._send_frames(conn, [
+                            {"op": OP_PONG, "seq": int(body.get("seq", 0)),
+                             "t": body.get("t", 0.0)}
+                        ])
+                    elif op == OP_BYE:
+                        await self._send_frames(conn, [{"op": OP_GOODBYE}])
+                        break
+                    else:
+                        await self._send_frames(conn, [error_body(
+                            GatewayError(f"unknown op {op!r}",
+                                         reason="protocol"),
+                            seq=body.get("seq"),
+                        )])
+                except _ConnectionGone:
+                    break
+        finally:
+            await self._close_connection(conn)
+
+    async def _handle_hello(self, conn: _Connection, body: dict) -> None:
+        proto = int(body.get("proto", 0))
+        if proto != PROTOCOL_VERSION:
+            await self._send_frames(conn, [error_body(GatewayError(
+                f"protocol version {proto} unsupported "
+                f"(server speaks {PROTOCOL_VERSION})", reason="protocol",
+            ), seq=body.get("seq"))])
+            conn.alive = False
+            return
+        conn.tenant = str(body.get("tenant", "default"))
+        await self._send_frames(conn, [{
+            "op": OP_HELLO_OK,
+            "seq": int(body.get("seq", 0)),
+            "proto": PROTOCOL_VERSION,
+            "conn_id": conn.conn_id,
+            "max_frame": frames.MAX_FRAME_BYTES,
+            "draining": self._draining,
+        }])
+
+    # ------------------------------------------------------------------
+    # Submit: the hot path
+    # ------------------------------------------------------------------
+    async def _handle_submit(self, conn: _Connection, body: dict) -> None:
+        seq = int(body.get("seq", 0))
+        if self._draining:
+            await self._send_frames(conn, [error_body(
+                GatewayError("gateway is draining; no new submissions",
+                             reason="draining"), seq=seq,
+            )])
+            return
+        try:
+            txs = frame_to_txs(body)
+        except GatewayError as exc:
+            await self._send_frames(conn, [error_body(exc, seq=seq)])
+            return
+        self._inflight += 1
+        self._idle.clear()
+        t0 = time.perf_counter()
+        sampled = self._tracer.should_sample()
+        try:
+            if sampled:
+                with self._tracer.root_span("gateway.submit",
+                                            sampled=True) as span:
+                    span.set_attr("conn", conn.conn_id)
+                    span.set_attr("tenant", conn.tenant)
+                    span.set_attr("batch", len(txs))
+                    report = self.pipeline.submit_many(txs)
+                if txs:
+                    self._tracer.bind_tx(txs[0].tx_id, span.ctx)
+            else:
+                report = self.pipeline.submit_many(txs)
+            conn.txs_in += len(txs)
+            self._tenant_counter(conn.tenant).inc(len(txs))
+            self._m_batch_txs.observe(len(txs))
+            await self._reply_submit(conn, seq, report)
+            self._m_submit_s.observe(time.perf_counter() - t0)
+            await self._maybe_pause(conn, report)
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+
+    async def _reply_submit(self, conn: _Connection, seq: int,
+                            report) -> None:
+        """Stream the ack: chunked RETRY_AFTER frames for the bounced
+        tail, then one final REPORT frame with totals."""
+        rejected = report.rejected
+        bodies: list[dict] = []
+        for start in range(0, len(rejected), self.report_chunk):
+            chunk = rejected[start:start + self.report_chunk]
+            bodies.append({
+                "op": OP_RETRY_AFTER,
+                "seq": seq,
+                "chunk": start // self.report_chunk,
+                "rejected": [
+                    dict(signal.as_dict(), tx_id=tx.tx_id)
+                    for tx, signal in chunk
+                ],
+            })
+        queued_total = report.queued_total
+        bodies.append({
+            "op": OP_REPORT,
+            "seq": seq,
+            "final": True,
+            "queued": queued_total,
+            "queued_by_shard": {str(sid): n
+                                for sid, n in report.queued.items()},
+            "rejected": len(rejected),
+            "retry_after_s": (report.min_retry_after_s()
+                              if rejected else 0.0),
+        })
+        if rejected:
+            self._m_txs_rejected.inc(len(rejected))
+        await self._send_frames(conn, bodies)
+
+    async def _maybe_pause(self, conn: _Connection, report) -> None:
+        """The repeat-offender half of backpressure: a connection whose
+        submits keep bouncing stops being read for the advertised
+        retry-after (capped), so its kernel socket buffer — not the
+        event loop — absorbs its optimism."""
+        if not report.rejected:
+            conn.strikes = 0
+            return
+        conn.strikes += 1
+        if conn.strikes < self.pause_after:
+            return
+        pause = min(report.min_retry_after_s(), self.pause_cap_s)
+        if pause <= 0:
+            return
+        self._m_pauses.inc()
+        self._m_pause_s.inc(max(1, int(pause * 1000)) / 1000)
+        conn.paused_s += pause
+        await asyncio.sleep(pause)
+
+    # ------------------------------------------------------------------
+    # Ops: the HTTP-free operator surface
+    # ------------------------------------------------------------------
+    async def _handle_ops(self, conn: _Connection, body: dict) -> None:
+        """Same shape as the SimNet ``ops/metrics`` topic: a registry
+        snapshot plus a health rollup, over the same socket the data
+        plane uses."""
+        try:
+            health = self.pipeline.sharded.health_report()
+        except ReproError:
+            health = {}
+        resp = {
+            "op": OP_OPS_OK,
+            "seq": int(body.get("seq", 0)),
+            "snapshot": self.telemetry.registry.snapshot(),
+            "health": health,
+            "ingest": asdict(self.pipeline.stats),
+            "gateway": {
+                "connections_active": len(self._connections),
+                "draining": self._draining,
+                "inflight_submits": self._inflight,
+            },
+        }
+        await self._send_frames(conn, [resp])

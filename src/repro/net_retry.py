@@ -21,6 +21,11 @@ the single shared policy:
   SyncError`).
 * :func:`failover` — try each peer in order, collecting structured
   per-peer errors; raises the last peer's error when all fail.
+* :meth:`RetryPolicy.backoff_s` / :func:`sleep_backoff` — the
+  **async-aware, wall-clock** face of the same policy: the socket
+  gateway client (:mod:`repro.gateway`) sleeps real seconds (the larger
+  of the server's ``RETRY_AFTER`` hint and the exponential schedule)
+  instead of advancing a simulated clock.
 
 Instrumentation (process-default registry, labeled by topic):
 ``net_requests_total``, ``net_retries_total``,
@@ -55,6 +60,9 @@ class RetryPolicy:
     factor: float = 2.0
     max_backoff_ticks: int = 256
     jitter_ticks: int = 4
+    # Wall-clock value of one backoff tick for async/wall-clock callers
+    # (the gateway client sleeps real seconds, not simulated ticks).
+    tick_s: float = 0.001
 
     def backoff_ticks(self, attempt: int, rng=None) -> int:
         """Ticks to wait before retry ``attempt`` (1-based)."""
@@ -67,6 +75,18 @@ class RetryPolicy:
         if self.jitter_ticks > 0 and rng is not None:
             ticks += rng.randrange(self.jitter_ticks + 1)
         return ticks
+
+    def backoff_s(self, attempt: int, rng=None,
+                  hint_s: float = 0.0) -> float:
+        """Wall-clock seconds to wait before retry ``attempt``: the
+        larger of the exponential schedule (ticks × ``tick_s``) and a
+        server-supplied hint (a ``QueueFull.retry_after_s`` translated
+        into a ``RETRY_AFTER`` wire response).  The hint wins while the
+        server knows best; the exponential floor takes over when the
+        same client keeps getting bounced — repeat offenders back off
+        *harder* than the hint alone asks."""
+        return max(self.backoff_ticks(attempt, rng) * self.tick_s,
+                   float(hint_s))
 
 
 def request_with_retries(
@@ -111,6 +131,32 @@ def request_with_retries(
             return resp
     registry.counter("net_requests_unanswered_total", topic=topic).inc()
     return None
+
+
+async def sleep_backoff(
+    policy: RetryPolicy,
+    attempt: int,
+    hint_s: float = 0.0,
+    rng=None,
+    topic: str = "gateway",
+) -> float:
+    """Async half of the policy: sleep :meth:`RetryPolicy.backoff_s`
+    without blocking the event loop, and account the wait on the same
+    counters the SimNet clients use (``net_retries_total``,
+    ``net_backoff_ticks_total`` — ticks in ``policy.tick_s`` units).
+    Returns the seconds slept so callers can report it."""
+    import asyncio
+
+    registry = default_telemetry().registry
+    wait_s = policy.backoff_s(attempt, rng, hint_s=hint_s)
+    if attempt > 0:
+        registry.counter("net_retries_total", topic=topic).inc()
+    if wait_s > 0:
+        registry.counter("net_backoff_ticks_total", topic=topic).inc(
+            max(1, int(wait_s / policy.tick_s))
+        )
+        await asyncio.sleep(wait_s)
+    return wait_s
 
 
 def failover(

@@ -49,8 +49,28 @@ class ChainNode:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
-    def on_topic(self, topic: str, handler: TopicHandler) -> None:
-        """Register/replace the handler for ``topic``."""
+    def on_topic(self, topic: str, handler: TopicHandler,
+                 replace: bool = False) -> None:
+        """Register the handler for ``topic``.
+
+        A topic has exactly one handler.  Registering a *different*
+        handler on an occupied topic raises :class:`ChainError` instead
+        of silently shadowing the first one — a gateway, sync server,
+        and ops server racing to claim overlapping topics used to win
+        or lose with no diagnostic.  Pass ``replace=True`` for a
+        deliberate takeover (e.g. a fresh :class:`~repro.sync.client.
+        SnapshotClient` superseding the previous attempt's mailbox).
+        Re-registering the *same* handler is an idempotent no-op, so
+        ``serve_shards``/``serve_sync`` can be called again after a
+        facade reopen.
+        """
+        existing = self._topic_handlers.get(topic)
+        if existing is not None and existing != handler and not replace:
+            raise ChainError(
+                f"node {self.node_id}: topic {topic!r} already has a "
+                f"handler ({existing!r}); pass replace=True to take it "
+                "over deliberately"
+            )
         self._topic_handlers[topic] = handler
 
     def dispatch(self, msg: NetMessage) -> None:

@@ -127,6 +127,9 @@ class SimNet:
         registry.register_collector(self._collect_metrics)
         self._handlers: dict[str, Handler] = {}
         self._regions: dict[str, str] = {}
+        # Nodes that were registered and have since unregistered: frames
+        # addressed to them count as undeliverable instead of raising.
+        self._departed: set[str] = set()
         self._partitions: list[frozenset[str]] = []
         self._topic_faults: dict[str, TopicFaults] = {}
         # Event queue entries: (deliver_at, seq, message)
@@ -137,6 +140,15 @@ class SimNet:
         self.telemetry.registry.gauge("net_pending_messages").set(
             len(self._queue)
         )
+
+    def _count_undeliverable(self, topic: str) -> None:
+        """One frame addressed to a just-disconnected node: same metric
+        name the asyncio gateway uses for its socket writes, so
+        operators read disconnect races off one series."""
+        self.telemetry.registry.counter(
+            "gateway_frames_undeliverable_total",
+            topic=topic, transport="simnet",
+        ).inc()
 
     def _topic_counters(self, topic: str) -> tuple:
         handles = self._m_by_topic.get(topic)
@@ -158,9 +170,16 @@ class SimNet:
             raise NetworkError(f"node id already registered: {node_id}")
         self._handlers[node_id] = handler
         self._regions[node_id] = region
+        self._departed.discard(node_id)
 
     def unregister(self, node_id: str) -> None:
-        self._handlers.pop(node_id, None)
+        """Detach a node (client disconnect).  The id is remembered so a
+        frame already addressed to it — a reply racing the disconnect —
+        is *counted* as undeliverable rather than raising ``unknown
+        recipient`` in the middle of the sender's handler (which would
+        abort the whole event loop) or silently vanishing."""
+        if self._handlers.pop(node_id, None) is not None:
+            self._departed.add(node_id)
         self._regions.pop(node_id, None)
 
     @property
@@ -211,8 +230,22 @@ class SimNet:
     # Sending
     # ------------------------------------------------------------------
     def send(self, msg: NetMessage) -> bool:
-        """Queue a message for delivery; returns False if dropped/cut."""
+        """Queue a message for delivery; returns False if dropped/cut.
+
+        Sending to a node that was *never* registered is a programming
+        error and raises.  Sending to a node that has **unregistered**
+        (a capture client that just disconnected — the reply half of an
+        in-flight exchange) is a normal race on a real network: the
+        frame is counted undeliverable and ``False`` comes back, so a
+        reply inside a dispatch handler never aborts the event loop.
+        """
         if msg.recipient not in self._handlers:
+            if msg.recipient in self._departed:
+                self.stats.record_send(msg)
+                self.stats.messages_dropped += 1
+                self._topic_counters(msg.topic)[1].inc()
+                self._count_undeliverable(msg.topic)
+                return False
             raise NetworkError(f"unknown recipient: {msg.recipient}")
         self.stats.record_send(msg)
         sent, dropped, duplicated, reordered = \
@@ -285,6 +318,7 @@ class SimNet:
         if handler is None:  # node left after the send
             self.stats.messages_dropped += 1
             self._topic_counters(msg.topic)[1].inc()
+            self._count_undeliverable(msg.topic)
             return None
         handler(msg)
         self.stats.messages_delivered += 1

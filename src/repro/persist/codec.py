@@ -36,6 +36,8 @@ __all__ = [
     "decode_record",
     "receipt_to_mapping",
     "receipt_from_mapping",
+    "transaction_to_mapping",
+    "transaction_from_mapping",
 ]
 
 
@@ -144,6 +146,21 @@ def _transaction_from_mapping(m: dict) -> Transaction:
     if m.get("_sealed"):
         tx.seal()
     return tx
+
+
+# Public aliases: the mapping form is also the *wire* form — the
+# gateway (repro.gateway) batches many of these inside one canonical
+# length-prefixed frame, so a transaction decoded off the socket
+# re-encodes to the same bytes it is hashed and signed over.
+def transaction_to_mapping(tx: Transaction) -> dict:
+    """Canonical-encodable mapping for one transaction (signature,
+    signer key, and seal flag included when present)."""
+    return _transaction_to_mapping(tx)
+
+
+def transaction_from_mapping(m: dict) -> Transaction:
+    """Exact inverse of :func:`transaction_to_mapping`."""
+    return _transaction_from_mapping(m)
 
 
 # ---------------------------------------------------------------------------

@@ -28,7 +28,12 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from ..chain import Blockchain, ChainParams, Mempool, Transaction
 from ..chain.block import Block
-from ..errors import QueueFull, ReproError, ShardError
+from ..errors import (
+    QueueFull,
+    RETRY_AFTER_FLOOR_S,
+    ReproError,
+    ShardError,
+)
 from ..obs.runtime import telemetry as default_telemetry
 from ..provenance.anchor import AnchorReceipt, AnchorService
 from ..provenance.query import ProvenanceQueryEngine, QueryCache
@@ -267,9 +272,12 @@ class ShardedChain:
         lock_lease_rounds: int = 16,
         quarantine_after: int = 0,
         quarantine_probe_every: int = 2,
+        retry_floor_s: float = RETRY_AFTER_FLOOR_S,
     ) -> None:
         if n_shards < 1:
             raise ShardError("need at least one shard")
+        if retry_floor_s <= 0.0:
+            raise ShardError("retry_floor_s must be > 0")
         if lock_lease_rounds < 1:
             raise ShardError("lock_lease_rounds must be >= 1")
         if quarantine_after < 0:
@@ -389,7 +397,10 @@ class ShardedChain:
         self._exec_pool = None
         self._worker_shard_state: dict[int, tuple[int, int, int, bytes]] = {}
         # EWMA of recent round wall time; feeds retry-after estimates.
+        # retry_floor_s both seeds the estimate before the first seal
+        # and clamps every advertised retry-after (hot-loop guard).
         self._round_pace_s = 0.0
+        self.retry_floor_s = retry_floor_s
         # Telemetry (ISSUE 7): spans per shard round / beacon commit,
         # latency histograms on the per-round paths (cheap there — one
         # observe per shard per round), and a collector publishing the
@@ -814,10 +825,19 @@ class ShardedChain:
                             source: str = "queue") -> QueueFull:
         """Build the structured retry-after signal for one full shard
         queue, using the facade's recent round pace to convert rounds
-        into wall time."""
+        into wall time.
+
+        Before the first seal the EWMA has no sample; the estimate is
+        seeded with ``retry_floor_s`` per round instead of advertising
+        0.0 — a remote client honoring a zero retry-after verbatim would
+        hot-loop the gateway.  The final value is clamped to the same
+        floor.
+        """
         per_round = max(1, self.shards[shard_id].chain.params.max_block_txs)
         over = depth - high_watermark + 1
         rounds = max(1, math.ceil(over / per_round))
+        pace = self._round_pace_s if self._round_pace_s > 0.0 \
+            else self.retry_floor_s
         return QueueFull(
             f"shard {shard_id} {source} full "
             f"({depth}/{capacity}); retry in ~{rounds} round(s)",
@@ -826,7 +846,8 @@ class ShardedChain:
             capacity=capacity,
             high_watermark=high_watermark,
             retry_after_rounds=rounds,
-            retry_after_s=rounds * self._round_pace_s,
+            retry_after_s=rounds * pace,
+            min_retry_after_s=self.retry_floor_s,
         )
 
     def submit_many(self, txs: Iterable[Transaction]) -> SubmitReport:

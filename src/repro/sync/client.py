@@ -105,7 +105,10 @@ class SnapshotClient:
         self._tracer = default_telemetry().tracer
         self.report = SyncReport(shard_id=shard_id, peer=peer)
         for topic in ("sync/offer", "sync/chunk", "sync/tail"):
-            node.on_topic(topic, self._on_response)
+            # Deliberate takeover: each catch-up attempt builds a fresh
+            # client, and the newest client owns the response mailbox
+            # (a stale predecessor must not swallow our responses).
+            node.on_topic(topic, self._on_response, replace=True)
 
     # ------------------------------------------------------------------
     # Request/response over SimNet (stop-and-wait with retries)

@@ -92,3 +92,62 @@ class TestBlockPropagation:
         assert all(node.chain.height == 4 for node in nodes)
         for node in nodes:
             node.chain.verify()
+
+
+class TestTopicRegistration:
+    """on_topic duplicate-handler guard (silent replacement used to
+    lose whichever server registered first)."""
+
+    def test_different_handler_on_occupied_topic_raises(self):
+        from repro.errors import ChainError
+        net = SimNet(seed=1)
+        node = ChainNode("n0", net, ChainParams(chain_id="dup"))
+        node.on_topic("custom", lambda m: None)
+        with pytest.raises(ChainError):
+            node.on_topic("custom", lambda m: None)
+
+    def test_same_handler_is_idempotent(self):
+        net = SimNet(seed=1)
+        node = ChainNode("n0", net, ChainParams(chain_id="dup"))
+
+        def handler(msg):
+            pass
+
+        node.on_topic("custom", handler)
+        node.on_topic("custom", handler)  # no-op, no raise
+
+    def test_replace_true_takes_over_deliberately(self):
+        net = SimNet(seed=1)
+        node = ChainNode("n0", net, ChainParams(chain_id="dup"))
+        seen = []
+        node.on_topic("custom", lambda m: seen.append("old"))
+        node.on_topic("custom", lambda m: seen.append("new"),
+                      replace=True)
+        from repro.network import NetMessage
+        net.register("peer", lambda m: None)
+        net.send(NetMessage("peer", "n0", "custom", {}))
+        net.run()
+        assert seen == ["new"]
+
+    def test_builtin_topics_collide_with_user_handlers(self):
+        from repro.errors import ChainError
+        net = SimNet(seed=1)
+        node = ChainNode("n0", net, ChainParams(chain_id="dup"))
+        # "tx"/"block"/"ops/metrics" are claimed in __init__.
+        with pytest.raises(ChainError):
+            node.on_topic("tx", lambda m: None)
+
+    def test_serve_shards_and_sync_are_reentrant(self):
+        # Bound-method equality makes re-serving the same facade an
+        # idempotent no-op (facade reopen path), not a collision.
+        from repro.sharding import ShardedChain
+        from repro.sync import SnapshotServer
+
+        net = SimNet(seed=1)
+        node = ChainNode("n0", net, ChainParams(chain_id="dup"))
+        sharded = ShardedChain(n_shards=2)
+        node.serve_shards(sharded)
+        node.serve_shards(sharded)
+        server = SnapshotServer(sharded)
+        node.serve_sync(server)
+        node.serve_sync(server)

@@ -17,7 +17,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.chain import Blockchain, ChainParams, Mempool, Transaction, TxKind
 from repro.crypto.signatures import KeyPair, verify_encoded_batch
-from repro.errors import InvalidBlock, QueueFull, ShardError
+from repro.errors import (
+    RETRY_AFTER_FLOOR_S, InvalidBlock, QueueFull, ShardError,
+)
 from repro.ingest import IngestPipeline
 from repro.persist import CrashPoint, DurableStorage, SegmentLog
 from repro.sharding import CrossShardCoordinator, ShardedChain
@@ -724,12 +726,28 @@ class TestGroupCommitCrash:
 # PR-4 gap coverage: round-pace EWMA and parallel-seal failure retry
 # ---------------------------------------------------------------------------
 class TestRoundPaceEwma:
-    def test_no_rounds_observed_means_zero_wall_estimate(self):
+    def test_pre_first_seal_window_clamps_to_the_floor(self):
+        # Before any round has been sealed there is no pace estimate;
+        # the wall hint must still be non-zero (a remote client honoring
+        # retry_after_s verbatim would otherwise hot-loop) — it clamps
+        # to the configured floor instead of reporting 0.0.
         sharded = ShardedChain(n_shards=1, max_block_txs=8)
         signal = sharded.backpressure_signal(0, depth=20, capacity=20,
                                              high_watermark=10)
         assert signal.retry_after_rounds >= 1
-        assert signal.retry_after_s == 0.0     # honest: no pace known yet
+        assert signal.retry_after_s >= RETRY_AFTER_FLOOR_S
+        assert signal.retry_after_s == pytest.approx(
+            signal.retry_after_rounds * RETRY_AFTER_FLOOR_S)
+
+    def test_retry_floor_is_configurable(self):
+        sharded = ShardedChain(n_shards=1, max_block_txs=8,
+                               retry_floor_s=0.25)
+        signal = sharded.backpressure_signal(0, depth=20, capacity=20,
+                                             high_watermark=10)
+        assert signal.retry_after_s == pytest.approx(
+            signal.retry_after_rounds * 0.25)
+        with pytest.raises(ShardError):
+            ShardedChain(n_shards=1, retry_floor_s=0.0)
 
     def test_first_round_seeds_the_estimate(self):
         sharded = ShardedChain(n_shards=1, max_block_txs=8)
@@ -738,8 +756,10 @@ class TestRoundPaceEwma:
         assert sharded._round_pace_s > 0.0
         signal = sharded.backpressure_signal(0, depth=20, capacity=20,
                                              high_watermark=10)
-        assert signal.retry_after_s == pytest.approx(
-            signal.retry_after_rounds * sharded._round_pace_s)
+        assert signal.retry_after_s == pytest.approx(max(
+            signal.retry_after_rounds * sharded._round_pace_s,
+            RETRY_AFTER_FLOOR_S))
+        assert signal.retry_after_s >= RETRY_AFTER_FLOOR_S
 
     def test_ewma_decays_toward_a_faster_pace(self):
         sharded = ShardedChain(n_shards=1, max_block_txs=8)

@@ -282,3 +282,54 @@ class TestGossip:
         # Flooding with dedup: each of the 10 nodes forwards at most
         # fanout times.
         assert net.stats.messages_sent <= 10 * 3
+
+
+class TestDepartedRecipients:
+    """Replies racing a client disconnect: counted, never raised,
+    never silently vanished (gateway_frames_undeliverable_total)."""
+
+    def _undeliverable(self, net, topic):
+        snap = net.telemetry.registry.snapshot()
+        key = (f'gateway_frames_undeliverable_total'
+               f'{{topic="{topic}",transport="simnet"}}')
+        return snap["counters"].get(key, 0)
+
+    def test_send_to_departed_counts_instead_of_raising(self):
+        from repro.obs.runtime import Telemetry
+        net = SimNet(seed=1, telemetry=Telemetry())
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: None)
+        net.unregister("b")
+        delivered = net.send(NetMessage("a", "b", "reply", {}))
+        assert delivered is False
+        assert net.stats.messages_dropped == 1
+        assert self._undeliverable(net, "reply") == 1
+
+    def test_never_registered_recipient_still_raises(self):
+        net = SimNet(seed=1)
+        net.register("a", lambda m: None)
+        with pytest.raises(NetworkError):
+            net.send(NetMessage("a", "ghost", "t", {}))
+
+    def test_unregister_midflight_counts_at_delivery(self):
+        from repro.obs.runtime import Telemetry
+        net = SimNet(seed=1, telemetry=Telemetry())
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: None)
+        net.send(NetMessage("a", "b", "reply", {}))   # queued, not delivered
+        net.unregister("b")                           # departs mid-flight
+        net.run()
+        assert net.stats.messages_delivered == 0
+        assert net.stats.messages_dropped == 1
+        assert self._undeliverable(net, "reply") == 1
+
+    def test_rejoining_node_receives_again(self):
+        received = []
+        net = SimNet(seed=1)
+        net.register("a", lambda m: None)
+        net.register("b", lambda m: received.append(m))
+        net.unregister("b")
+        net.register("b", lambda m: received.append(m))
+        net.send(NetMessage("a", "b", "t", {}))
+        net.run()
+        assert len(received) == 1
